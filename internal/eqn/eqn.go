@@ -1,0 +1,577 @@
+// Package eqn defines the flat (non-parameterized) equation network that
+// the IIF expander produces and the logic synthesis pipeline consumes.
+//
+// A Network is a list of single-assignment equations over scalar signals.
+// Signal names carry their indices textually ("Q[3]"). Besides the boolean
+// operators, nodes represent the IIF hardware extensions: D flip-flops and
+// latches with asynchronous set/reset, tri-state buffers, wire-or, delay
+// elements, buffers, and schmitt triggers.
+package eqn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Node is an equation right-hand side.
+type Node interface{ nodeTag() }
+
+// Var references another signal by name.
+type Var struct{ Name string }
+
+// Const is the constant 0 or 1.
+type Const struct{ V bool }
+
+// Not is boolean negation.
+type Not struct{ X Node }
+
+// Buf is an explicit buffer (~b).
+type Buf struct{ X Node }
+
+// Schmitt is a schmitt trigger (~s).
+type Schmitt struct{ X Node }
+
+// And is n-ary conjunction.
+type And struct{ Xs []Node }
+
+// Or is n-ary disjunction.
+type Or struct{ Xs []Node }
+
+// Xor is exclusive-or ((+)).
+type Xor struct{ X, Y Node }
+
+// Xnor is exclusive-nor ((.)).
+type Xnor struct{ X, Y Node }
+
+// Tristate is a tri-state buffer (~t): output follows X when Ctrl is 1,
+// else high-impedance.
+type Tristate struct{ X, Ctrl Node }
+
+// WireOr is an n-ary wired-or (~w).
+type WireOr struct{ Xs []Node }
+
+// DelayEl is a pure delay element (~d) of NS nanoseconds.
+type DelayEl struct {
+	X  Node
+	NS float64
+}
+
+// EdgeKind is the clocking discipline of a sequential element.
+type EdgeKind int
+
+// Clocking kinds: edge-triggered flip-flops (~r, ~f) and level-sensitive
+// latches (~h, ~l).
+const (
+	Rise EdgeKind = iota
+	Fall
+	LevelHigh
+	LevelLow
+)
+
+func (e EdgeKind) String() string {
+	switch e {
+	case Rise:
+		return "~r"
+	case Fall:
+		return "~f"
+	case LevelHigh:
+		return "~h"
+	case LevelLow:
+		return "~l"
+	}
+	return "?"
+}
+
+// AsyncRule forces the element output to Value whenever Cond is true,
+// independent of the clock ("~a (value/cond, ...)").
+type AsyncRule struct {
+	Value bool
+	Cond  Node
+}
+
+// FF is a D flip-flop or latch: output takes D at the clock event given by
+// Edge on Clock, overridden by any matching Async rule.
+type FF struct {
+	D     Node
+	Edge  EdgeKind
+	Clock Node
+	Async []AsyncRule
+}
+
+func (Var) nodeTag()      {}
+func (Const) nodeTag()    {}
+func (Not) nodeTag()      {}
+func (Buf) nodeTag()      {}
+func (Schmitt) nodeTag()  {}
+func (And) nodeTag()      {}
+func (Or) nodeTag()       {}
+func (Xor) nodeTag()      {}
+func (Xnor) nodeTag()     {}
+func (Tristate) nodeTag() {}
+func (WireOr) nodeTag()   {}
+func (DelayEl) nodeTag()  {}
+func (FF) nodeTag()       {}
+
+// Equation defines signal LHS by expression RHS.
+type Equation struct {
+	LHS string
+	RHS Node
+}
+
+// Network is a flat design: declared I/O plus a list of equations in
+// definition order. Each signal is defined at most once.
+type Network struct {
+	Name      string
+	Inputs    []string
+	Outputs   []string
+	Internals []string
+	Eqns      []Equation
+
+	byLHS map[string]int
+}
+
+// NewNetwork creates an empty network with the given name.
+func NewNetwork(name string) *Network {
+	return &Network{Name: name, byLHS: make(map[string]int)}
+}
+
+// AddEquation appends an equation; it fails if lhs is already defined or
+// is a declared input.
+func (n *Network) AddEquation(lhs string, rhs Node) error {
+	if n.byLHS == nil {
+		n.reindex()
+	}
+	if _, dup := n.byLHS[lhs]; dup {
+		return fmt.Errorf("eqn: signal %q defined twice", lhs)
+	}
+	for _, in := range n.Inputs {
+		if in == lhs {
+			return fmt.Errorf("eqn: input signal %q cannot be assigned", lhs)
+		}
+	}
+	n.byLHS[lhs] = len(n.Eqns)
+	n.Eqns = append(n.Eqns, Equation{LHS: lhs, RHS: rhs})
+	return nil
+}
+
+func (n *Network) reindex() {
+	n.byLHS = make(map[string]int, len(n.Eqns))
+	for i, e := range n.Eqns {
+		n.byLHS[e.LHS] = i
+	}
+}
+
+// Def returns the defining node of signal name, or nil if name is an input
+// or undefined.
+func (n *Network) Def(name string) Node {
+	if n.byLHS == nil {
+		n.reindex()
+	}
+	if i, ok := n.byLHS[name]; ok {
+		return n.Eqns[i].RHS
+	}
+	return nil
+}
+
+// ReplaceDef replaces the defining equation of name.
+func (n *Network) ReplaceDef(name string, rhs Node) error {
+	if n.byLHS == nil {
+		n.reindex()
+	}
+	i, ok := n.byLHS[name]
+	if !ok {
+		return fmt.Errorf("eqn: signal %q not defined", name)
+	}
+	n.Eqns[i].RHS = rhs
+	return nil
+}
+
+// IsInput reports whether name is a declared input.
+func (n *Network) IsInput(name string) bool {
+	for _, in := range n.Inputs {
+		if in == name {
+			return true
+		}
+	}
+	return false
+}
+
+// IsOutput reports whether name is a declared output.
+func (n *Network) IsOutput(name string) bool {
+	for _, o := range n.Outputs {
+		if o == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Support returns the signal names referenced by node x, sorted.
+func Support(x Node) []string {
+	set := make(map[string]bool)
+	collectSupport(x, set)
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectSupport(x Node, set map[string]bool) {
+	switch v := x.(type) {
+	case Var:
+		set[v.Name] = true
+	case Const:
+	case Not:
+		collectSupport(v.X, set)
+	case Buf:
+		collectSupport(v.X, set)
+	case Schmitt:
+		collectSupport(v.X, set)
+	case And:
+		for _, c := range v.Xs {
+			collectSupport(c, set)
+		}
+	case Or:
+		for _, c := range v.Xs {
+			collectSupport(c, set)
+		}
+	case Xor:
+		collectSupport(v.X, set)
+		collectSupport(v.Y, set)
+	case Xnor:
+		collectSupport(v.X, set)
+		collectSupport(v.Y, set)
+	case Tristate:
+		collectSupport(v.X, set)
+		collectSupport(v.Ctrl, set)
+	case WireOr:
+		for _, c := range v.Xs {
+			collectSupport(c, set)
+		}
+	case DelayEl:
+		collectSupport(v.X, set)
+	case FF:
+		collectSupport(v.D, set)
+		collectSupport(v.Clock, set)
+		for _, r := range v.Async {
+			collectSupport(r.Cond, set)
+		}
+	}
+}
+
+// Validate checks network well-formedness: every referenced signal is an
+// input or has a defining equation, and every declared output is defined.
+func (n *Network) Validate() error {
+	defined := make(map[string]bool)
+	for _, in := range n.Inputs {
+		defined[in] = true
+	}
+	for _, e := range n.Eqns {
+		defined[e.LHS] = true
+	}
+	for _, e := range n.Eqns {
+		for _, s := range Support(e.RHS) {
+			if !defined[s] {
+				return fmt.Errorf("eqn: %s: undefined signal %q", e.LHS, s)
+			}
+		}
+	}
+	for _, o := range n.Outputs {
+		if !defined[o] {
+			return fmt.Errorf("eqn: output %q has no defining equation", o)
+		}
+	}
+	return nil
+}
+
+// IsSequential reports whether node x contains a flip-flop, latch, or
+// other non-combinational element at any depth.
+func IsSequential(x Node) bool {
+	switch v := x.(type) {
+	case FF, DelayEl:
+		return true
+	case Not:
+		return IsSequential(v.X)
+	case Buf:
+		return IsSequential(v.X)
+	case Schmitt:
+		return IsSequential(v.X)
+	case And:
+		for _, c := range v.Xs {
+			if IsSequential(c) {
+				return true
+			}
+		}
+	case Or:
+		for _, c := range v.Xs {
+			if IsSequential(c) {
+				return true
+			}
+		}
+	case Xor:
+		return IsSequential(v.X) || IsSequential(v.Y)
+	case Xnor:
+		return IsSequential(v.X) || IsSequential(v.Y)
+	case Tristate:
+		return IsSequential(v.X) || IsSequential(v.Ctrl)
+	case WireOr:
+		for _, c := range v.Xs {
+			if IsSequential(c) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// String renders the node in IIF surface syntax with XOR printed as "!="
+// per the MILO flat-format convention shown in Appendix A.
+func String(x Node) string {
+	switch v := x.(type) {
+	case Var:
+		return v.Name
+	case Const:
+		if v.V {
+			return "1"
+		}
+		return "0"
+	case Not:
+		return "!" + parenString(v.X)
+	case Buf:
+		return "~b " + parenString(v.X)
+	case Schmitt:
+		return "~s " + parenString(v.X)
+	case And:
+		return joinNodes(v.Xs, "*")
+	case Or:
+		return joinNodes(v.Xs, "+")
+	case Xor:
+		return parenString(v.X) + "!=" + parenString(v.Y)
+	case Xnor:
+		return parenString(v.X) + "==" + parenString(v.Y)
+	case Tristate:
+		return parenString(v.X) + " ~t " + parenString(v.Ctrl)
+	case WireOr:
+		return joinNodes(v.Xs, " ~w ")
+	case DelayEl:
+		return parenString(v.X) + fmt.Sprintf(" ~d %g", v.NS)
+	case FF:
+		s := "(" + String(v.D) + ") @(" + v.Edge.String() + " " + String(v.Clock) + ")"
+		if len(v.Async) > 0 {
+			var items []string
+			for _, r := range v.Async {
+				val := "0"
+				if r.Value {
+					val = "1"
+				}
+				items = append(items, val+"/("+String(r.Cond)+")")
+			}
+			s += " ~a(" + strings.Join(items, ",") + ")"
+		}
+		return s
+	}
+	return "?"
+}
+
+func parenString(x Node) string {
+	switch x.(type) {
+	case Var, Const, Not:
+		return String(x)
+	}
+	return "(" + String(x) + ")"
+}
+
+func joinNodes(xs []Node, sep string) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = parenString(x)
+	}
+	return strings.Join(parts, sep)
+}
+
+// Format renders the whole network in the flat MILO input format of
+// Appendix A §4.2.
+func (n *Network) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "NAME=%s;\n", n.Name)
+	fmt.Fprintf(&b, "INORDER=%s;\n", strings.Join(n.Inputs, " "))
+	fmt.Fprintf(&b, "OUTORDER=%s;\n", strings.Join(n.Outputs, " "))
+	for _, e := range n.Eqns {
+		fmt.Fprintf(&b, "%s=%s;\n", e.LHS, String(e.RHS))
+	}
+	return b.String()
+}
+
+// Clone deep-copies the network.
+func (n *Network) Clone() *Network {
+	c := NewNetwork(n.Name)
+	c.Inputs = append([]string(nil), n.Inputs...)
+	c.Outputs = append([]string(nil), n.Outputs...)
+	c.Internals = append([]string(nil), n.Internals...)
+	for _, e := range n.Eqns {
+		c.byLHS[e.LHS] = len(c.Eqns)
+		c.Eqns = append(c.Eqns, Equation{LHS: e.LHS, RHS: CloneNode(e.RHS)})
+	}
+	return c
+}
+
+// CloneNode deep-copies a node.
+func CloneNode(x Node) Node {
+	switch v := x.(type) {
+	case Var, Const:
+		return v
+	case Not:
+		return Not{X: CloneNode(v.X)}
+	case Buf:
+		return Buf{X: CloneNode(v.X)}
+	case Schmitt:
+		return Schmitt{X: CloneNode(v.X)}
+	case And:
+		return And{Xs: cloneNodes(v.Xs)}
+	case Or:
+		return Or{Xs: cloneNodes(v.Xs)}
+	case Xor:
+		return Xor{X: CloneNode(v.X), Y: CloneNode(v.Y)}
+	case Xnor:
+		return Xnor{X: CloneNode(v.X), Y: CloneNode(v.Y)}
+	case Tristate:
+		return Tristate{X: CloneNode(v.X), Ctrl: CloneNode(v.Ctrl)}
+	case WireOr:
+		return WireOr{Xs: cloneNodes(v.Xs)}
+	case DelayEl:
+		return DelayEl{X: CloneNode(v.X), NS: v.NS}
+	case FF:
+		ff := FF{D: CloneNode(v.D), Edge: v.Edge, Clock: CloneNode(v.Clock)}
+		for _, r := range v.Async {
+			ff.Async = append(ff.Async, AsyncRule{Value: r.Value, Cond: CloneNode(r.Cond)})
+		}
+		return ff
+	}
+	return x
+}
+
+func cloneNodes(xs []Node) []Node {
+	out := make([]Node, len(xs))
+	for i, x := range xs {
+		out[i] = CloneNode(x)
+	}
+	return out
+}
+
+// EvalComb evaluates a combinational node under the given input values.
+// It fails on sequential nodes or unknown signals.
+func EvalComb(x Node, env map[string]bool) (bool, error) {
+	switch v := x.(type) {
+	case Var:
+		b, ok := env[v.Name]
+		if !ok {
+			return false, fmt.Errorf("eqn: eval: unknown signal %q", v.Name)
+		}
+		return b, nil
+	case Const:
+		return v.V, nil
+	case Not:
+		b, err := EvalComb(v.X, env)
+		return !b, err
+	case Buf:
+		return EvalComb(v.X, env)
+	case Schmitt:
+		return EvalComb(v.X, env)
+	case And:
+		for _, c := range v.Xs {
+			b, err := EvalComb(c, env)
+			if err != nil {
+				return false, err
+			}
+			if !b {
+				return false, nil
+			}
+		}
+		return true, nil
+	case Or:
+		for _, c := range v.Xs {
+			b, err := EvalComb(c, env)
+			if err != nil {
+				return false, err
+			}
+			if b {
+				return true, nil
+			}
+		}
+		return false, nil
+	case Xor:
+		a, err := EvalComb(v.X, env)
+		if err != nil {
+			return false, err
+		}
+		b, err := EvalComb(v.Y, env)
+		return a != b, err
+	case Xnor:
+		a, err := EvalComb(v.X, env)
+		if err != nil {
+			return false, err
+		}
+		b, err := EvalComb(v.Y, env)
+		return a == b, err
+	}
+	return false, fmt.Errorf("eqn: eval: non-combinational node %T", x)
+}
+
+// TopoOrder returns the equations in dependency order (definitions before
+// uses), treating FF and DelayEl boundaries as cuts (their outputs are
+// state, not combinational dependencies). It fails on a purely
+// combinational cycle.
+func (n *Network) TopoOrder() ([]Equation, error) {
+	if n.byLHS == nil {
+		n.reindex()
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int)
+	var order []Equation
+	var visit func(name string) error
+	visit = func(name string) error {
+		idx, ok := n.byLHS[name]
+		if !ok {
+			return nil // input or undefined; Validate catches the latter
+		}
+		switch color[name] {
+		case gray:
+			return fmt.Errorf("eqn: combinational cycle through %q", name)
+		case black:
+			return nil
+		}
+		color[name] = gray
+		e := n.Eqns[idx]
+		if !isStateBoundary(e.RHS) {
+			for _, dep := range Support(e.RHS) {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		color[name] = black
+		order = append(order, e)
+		return nil
+	}
+	for _, e := range n.Eqns {
+		if err := visit(e.LHS); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+func isStateBoundary(x Node) bool {
+	switch x.(type) {
+	case FF, DelayEl:
+		return true
+	}
+	return false
+}

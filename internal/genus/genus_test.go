@@ -1,0 +1,225 @@
+package genus
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllFunctionsUniqueAndValid(t *testing.T) {
+	seen := make(map[Function]bool)
+	for _, f := range AllFunctions() {
+		if seen[f] {
+			t.Errorf("duplicate function %q", f)
+		}
+		seen[f] = true
+		if !IsFunction(string(f)) {
+			t.Errorf("IsFunction(%q) = false, want true", f)
+		}
+	}
+	if len(seen) < 50 {
+		t.Errorf("function vocabulary too small: %d", len(seen))
+	}
+}
+
+func TestIsFunctionCaseInsensitive(t *testing.T) {
+	for _, name := range []string{"add", "Add", "ADD", "inc", "storage", "mux_scl"} {
+		if !IsFunction(name) {
+			t.Errorf("IsFunction(%q) = false, want true", name)
+		}
+	}
+	for _, name := range []string{"", "FROB", "ADDD"} {
+		if IsFunction(name) {
+			t.Errorf("IsFunction(%q) = true, want false", name)
+		}
+	}
+}
+
+func TestNormalizeFunctionAliases(t *testing.T) {
+	cases := map[string]Function{
+		"+": FuncADD, "-": FuncSUB, "*": FuncMUL, "/": FuncDIV,
+		"++": FuncINC, "--": FuncDEC, "add": FuncADD, " SUB ": FuncSUB,
+	}
+	for in, want := range cases {
+		got, err := NormalizeFunction(in)
+		if err != nil {
+			t.Errorf("NormalizeFunction(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("NormalizeFunction(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if _, err := NormalizeFunction("bogus"); err == nil {
+		t.Error("NormalizeFunction(bogus): want error")
+	}
+}
+
+func TestComponentTypesHaveFunctions(t *testing.T) {
+	for _, ct := range AllComponentTypes() {
+		if len(Functions(ct)) == 0 {
+			t.Errorf("component type %q has no functions", ct)
+		}
+	}
+}
+
+func TestCounterExecutesPaperFunctions(t *testing.T) {
+	// §4.1: "an updown counter with parallel load and enable performs
+	// INCREMENT, DECREMENT, COUNTER, and STORAGE functions."
+	fns := Functions(CompCounter)
+	want := []Function{FuncINC, FuncDEC, FuncCOUNTER, FuncSTORAGE}
+	for _, w := range want {
+		found := false
+		for _, f := range fns {
+			if f == w {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Counter missing function %q", w)
+		}
+	}
+}
+
+func TestComponentsForFunctionsMerging(t *testing.T) {
+	// §4.1: a STORAGE query returns both Register and Counter; a
+	// COUNTER+STORAGE query returns only the counter.
+	storage := ComponentsForFunctions(FuncSTORAGE)
+	hasReg, hasCnt := false, false
+	for _, ct := range storage {
+		if ct == CompRegister {
+			hasReg = true
+		}
+		if ct == CompCounter {
+			hasCnt = true
+		}
+	}
+	if !hasReg || !hasCnt {
+		t.Errorf("STORAGE query = %v, want both Register and Counter", storage)
+	}
+
+	merged := ComponentsForFunctions(FuncCOUNTER, FuncSTORAGE)
+	if len(merged) != 1 || merged[0] != CompCounter {
+		t.Errorf("COUNTER+STORAGE query = %v, want [Counter]", merged)
+	}
+}
+
+func TestComponentsForFunctionsEmpty(t *testing.T) {
+	if got := ComponentsForFunctions(); got != nil {
+		t.Errorf("empty function query = %v, want nil", got)
+	}
+}
+
+func TestAddSubComponent(t *testing.T) {
+	got := ComponentsForFunctions(FuncADD, FuncSUB)
+	wantSome := map[ComponentType]bool{CompAdderSubtractor: true, CompALU: true}
+	for _, ct := range got {
+		if !wantSome[ct] {
+			t.Errorf("ADD+SUB query returned unexpected %q", ct)
+		}
+		delete(wantSome, ct)
+	}
+	if len(wantSome) != 0 {
+		t.Errorf("ADD+SUB query missing %v", wantSome)
+	}
+}
+
+func TestNormalizeComponentType(t *testing.T) {
+	for _, in := range []string{"counter", "Counter", "COUNTER"} {
+		ct, ok := NormalizeComponentType(in)
+		if !ok || ct != CompCounter {
+			t.Errorf("NormalizeComponentType(%q) = %q,%v", in, ct, ok)
+		}
+	}
+	if _, ok := NormalizeComponentType("widget"); ok {
+		t.Error("NormalizeComponentType(widget): want !ok")
+	}
+	if IsComponentType("widget") {
+		t.Error("IsComponentType(widget): want false")
+	}
+	if !IsComponentType("adder_subtractor") {
+		t.Error("IsComponentType(adder_subtractor): want true")
+	}
+}
+
+func TestArity(t *testing.T) {
+	a, ok := Arity(FuncADD)
+	if !ok || a.Inputs != 3 || a.Outputs != 2 {
+		t.Errorf("Arity(ADD) = %+v,%v", a, ok)
+	}
+	if _, ok := Arity(FuncMEMORY); ok {
+		t.Error("Arity(MEMORY): want !ok (no fixed arity)")
+	}
+}
+
+func TestResolveAlias(t *testing.T) {
+	if got := ResolveAlias(FuncADD, "Cin"); got != "I2" {
+		t.Errorf("ResolveAlias(ADD,Cin) = %q, want I2", got)
+	}
+	if got := ResolveAlias(FuncADD, "cin"); got != "I2" {
+		t.Errorf("ResolveAlias(ADD,cin) = %q, want I2 (case-insensitive)", got)
+	}
+	if got := ResolveAlias(FuncADD, "I0"); got != "I0" {
+		t.Errorf("ResolveAlias(ADD,I0) = %q, want I0 (pass-through)", got)
+	}
+	if got := ResolveAlias(FuncEQ, "OEQ"); got != "O0" {
+		t.Errorf("ResolveAlias(EQ,OEQ) = %q, want O0", got)
+	}
+	if as := Aliases(FuncADD); len(as) != 3 {
+		t.Errorf("Aliases(ADD) = %v, want 3 entries", as)
+	}
+}
+
+func TestNamingHelpers(t *testing.T) {
+	if ClockName(-1) != "clk" {
+		t.Errorf("ClockName(-1) = %q", ClockName(-1))
+	}
+	if ClockName(2) != "clk2" {
+		t.Errorf("ClockName(2) = %q", ClockName(2))
+	}
+	if ControlName(0) != "C0" || InputName(1) != "I1" || OutputName(3) != "O3" {
+		t.Error("port naming helpers wrong")
+	}
+}
+
+func TestFunctionSetKeyCanonical(t *testing.T) {
+	a := FunctionSetKey([]Function{FuncSTORAGE, FuncCOUNTER})
+	b := FunctionSetKey([]Function{FuncCOUNTER, FuncSTORAGE})
+	if a != b {
+		t.Errorf("FunctionSetKey not order-insensitive: %q vs %q", a, b)
+	}
+	if !strings.Contains(a, "COUNTER") || !strings.Contains(a, "STORAGE") {
+		t.Errorf("FunctionSetKey = %q", a)
+	}
+}
+
+func TestFunctionSetKeyProperty(t *testing.T) {
+	// Property: key is invariant under permutation (here: reversal) and
+	// case of inputs.
+	f := func(idx []uint8) bool {
+		all := AllFunctions()
+		var fns []Function
+		for _, i := range idx {
+			fns = append(fns, all[int(i)%len(all)])
+		}
+		rev := make([]Function, len(fns))
+		for i, fn := range fns {
+			rev[len(fns)-1-i] = Function(strings.ToLower(string(fn)))
+		}
+		return FunctionSetKey(fns) == FunctionSetKey(rev)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPredefinedAttributes(t *testing.T) {
+	attrs := PredefinedAttributes()
+	want := map[string]bool{"size": true, "input_latch": true, "output_tri_state": true}
+	for _, a := range attrs {
+		delete(want, a)
+	}
+	if len(want) != 0 {
+		t.Errorf("PredefinedAttributes missing %v", want)
+	}
+}

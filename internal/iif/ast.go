@@ -1,0 +1,302 @@
+package iif
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Design is a parsed IIF description: the declaration part followed by the
+// design body (Appendix A §2).
+type Design struct {
+	Name string
+	// Params are the PARAMETER variables users supply values for.
+	Params []string
+	// Vars are C-style VARIABLE names used in parameterized structure.
+	Vars []string
+	// Inputs, Outputs, Internal declare signals (INORDER, OUTORDER,
+	// PIIFVARIABLE). Dims hold C expressions for indexed signals.
+	Inputs   []SignalDecl
+	Outputs  []SignalDecl
+	Internal []SignalDecl
+	// SubFunctions lists the IIF subfunction (macro) names the body calls.
+	SubFunctions []string
+	// SubComponents lists SUBCOMPONENT declarations.
+	SubComponents []string
+	// Functions records an optional FUNCTIONS declaration (the abstract
+	// operations this component executes, as in the SHL0 example).
+	Functions []string
+	Body      *Block
+}
+
+// SignalDecl declares one (possibly indexed) signal. "D[size]" has
+// Name "D" and one Dim expression; a plain signal has no Dims.
+type SignalDecl struct {
+	Name string
+	Dims []Expr
+	Pos  Pos
+}
+
+func (d SignalDecl) String() string {
+	var b strings.Builder
+	b.WriteString(d.Name)
+	for _, e := range d.Dims {
+		fmt.Fprintf(&b, "[%s]", ExprString(e))
+	}
+	return b.String()
+}
+
+// Stmt is an IIF statement.
+type Stmt interface{ stmtNode() }
+
+// Block is a { ... } sequence of statements.
+type Block struct {
+	Stmts []Stmt
+	Pos   Pos
+}
+
+// AssignOp distinguishes plain assignment from the aggregate forms.
+type AssignOp int
+
+// Assignment operators.
+const (
+	OpAssign  AssignOp = iota // =
+	OpAggOr                   // +=
+	OpAggAnd                  // *=
+	OpAggXor                  // (+)=
+	OpAggXnor                 // (.)=
+)
+
+func (op AssignOp) String() string {
+	switch op {
+	case OpAssign:
+		return "="
+	case OpAggOr:
+		return "+="
+	case OpAggAnd:
+		return "*="
+	case OpAggXor:
+		return "(+)="
+	case OpAggXnor:
+		return "(.)="
+	}
+	return "?="
+}
+
+// Assign is "lvalue op expr;". In the body it defines a signal equation;
+// under #c_line it updates a C variable.
+type Assign struct {
+	LHS   *Ref
+	Op    AssignOp
+	RHS   Expr
+	CLine bool // true when introduced by #c_line
+	Pos   Pos
+}
+
+// If is the "#if (cond) stmt [#else stmt]" decision construct. Cond is a C
+// expression over parameters and variables.
+type If struct {
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+	Pos  Pos
+}
+
+// For is the "#for(init; cond; step) stmt" loop construct.
+type For struct {
+	Init Expr // assignment or empty (nil)
+	Cond Expr
+	Step Expr
+	Body Stmt
+	Pos  Pos
+}
+
+// Call is a "#NAME(arg, ...);" subfunction (macro) invocation with
+// call-by-name argument passing.
+type Call struct {
+	Name string
+	Args []Expr
+	Pos  Pos
+}
+
+// Break and Continue are loop control statements.
+type Break struct{ Pos Pos }
+
+// Continue resumes the next loop iteration.
+type Continue struct{ Pos Pos }
+
+func (*Block) stmtNode()    {}
+func (*Assign) stmtNode()   {}
+func (*If) stmtNode()       {}
+func (*For) stmtNode()      {}
+func (*Call) stmtNode()     {}
+func (*Break) stmtNode()    {}
+func (*Continue) stmtNode() {}
+
+// Expr is an IIF expression node. One AST covers both boolean signal
+// expressions and C integer expressions; the expander interprets each node
+// according to context (signal reference vs variable reference).
+type Expr interface{ exprNode() }
+
+// Ref references a signal or variable, optionally indexed: Q, Q[i], M[i][j].
+type Ref struct {
+	Name  string
+	Index []Expr
+	Pos   Pos
+}
+
+// IntLit is an integer literal. In boolean context 0/1 are the constants.
+type IntLit struct {
+	V   int
+	Pos Pos
+}
+
+// UnaryOp enumerates prefix/postfix unary operators.
+type UnaryOp int
+
+// Unary operators.
+const (
+	UNot     UnaryOp = iota // !
+	UNeg                    // - (C)
+	UBuf                    // ~b
+	USchmitt                // ~s
+	URise                   // ~r
+	UFall                   // ~f
+	UHigh                   // ~h
+	ULow                    // ~l
+	UPreInc                 // ++x
+	UPreDec                 // --x
+	UPostInc                // x++
+	UPostDec                // x--
+)
+
+var unaryNames = map[UnaryOp]string{
+	UNot: "!", UNeg: "-", UBuf: "~b", USchmitt: "~s",
+	URise: "~r", UFall: "~f", UHigh: "~h", ULow: "~l",
+	UPreInc: "++", UPreDec: "--", UPostInc: "++", UPostDec: "--",
+}
+
+func (op UnaryOp) String() string { return unaryNames[op] }
+
+// Unary applies a unary operator.
+type Unary struct {
+	Op  UnaryOp
+	X   Expr
+	Pos Pos
+}
+
+// BinaryOp enumerates binary operators.
+type BinaryOp int
+
+// Binary operators.
+const (
+	BOr     BinaryOp = iota // + (boolean OR / C add)
+	BAnd                    // * (boolean AND / C mul)
+	BXor                    // (+)
+	BXnor                   // (.)
+	BMinus                  // - (C)
+	BDiv                    // / (C)
+	BMod                    // %
+	BPow                    // **
+	BAt                     // @  (clocked assignment)
+	BDelay                  // ~d
+	BTri                    // ~t
+	BWireOr                 // ~w
+	BEq                     // ==
+	BNeq                    // !=
+	BLt                     // <
+	BGt                     // >
+	BLeq                    // <=
+	BGeq                    // >=
+	BLAnd                   // &&
+	BLOr                    // ||
+)
+
+var binaryNames = map[BinaryOp]string{
+	BOr: "+", BAnd: "*", BXor: "(+)", BXnor: "(.)", BMinus: "-",
+	BDiv: "/", BMod: "%", BPow: "**", BAt: "@", BDelay: "~d",
+	BTri: "~t", BWireOr: "~w", BEq: "==", BNeq: "!=", BLt: "<",
+	BGt: ">", BLeq: "<=", BGeq: ">=", BLAnd: "&&", BLOr: "||",
+}
+
+func (op BinaryOp) String() string { return binaryNames[op] }
+
+// Binary applies a binary operator.
+type Binary struct {
+	Op   BinaryOp
+	X, Y Expr
+	Pos  Pos
+}
+
+// AsyncItem is one "value/condition" rule of an asynchronous set/reset
+// list: when Cond evaluates true the flip-flop output is forced to Value.
+type AsyncItem struct {
+	Value Expr
+	Cond  Expr
+}
+
+// Async is "X ~a (v0/c0, v1/c1, ...)" — a flip-flop expression X decorated
+// with asynchronous set/reset rules.
+type Async struct {
+	X     Expr
+	Items []AsyncItem
+	Pos   Pos
+}
+
+func (*Ref) exprNode()    {}
+func (*IntLit) exprNode() {}
+func (*Unary) exprNode()  {}
+func (*Binary) exprNode() {}
+func (*Async) exprNode()  {}
+
+// ExprString renders an expression in IIF surface syntax (fully
+// parenthesized where needed); used for diagnostics and the flat printer.
+func ExprString(e Expr) string {
+	switch x := e.(type) {
+	case *Ref:
+		var b strings.Builder
+		b.WriteString(x.Name)
+		for _, i := range x.Index {
+			fmt.Fprintf(&b, "[%s]", ExprString(i))
+		}
+		return b.String()
+	case *IntLit:
+		return fmt.Sprintf("%d", x.V)
+	case *Unary:
+		switch x.Op {
+		case UPostInc:
+			return ExprString(x.X) + "++"
+		case UPostDec:
+			return ExprString(x.X) + "--"
+		case UNot:
+			return "!" + ExprString(x.X)
+		default:
+			return x.Op.String() + " " + ExprString(x.X)
+		}
+	case *Binary:
+		return "(" + ExprString(x.X) + x.Op.String() + ExprString(x.Y) + ")"
+	case *Async:
+		var parts []string
+		for _, it := range x.Items {
+			parts = append(parts, ExprString(it.Value)+"/"+ExprString(it.Cond))
+		}
+		return "(" + ExprString(x.X) + " ~a(" + strings.Join(parts, ",") + "))"
+	}
+	return "?"
+}
+
+// exprPos extracts the source position of an expression.
+func exprPos(e Expr) Pos {
+	switch x := e.(type) {
+	case *Ref:
+		return x.Pos
+	case *IntLit:
+		return x.Pos
+	case *Unary:
+		return x.Pos
+	case *Binary:
+		return x.Pos
+	case *Async:
+		return x.Pos
+	}
+	return Pos{}
+}

@@ -1,0 +1,320 @@
+package iif
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Error is an IIF front-end error carrying a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("iif: %s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+var declKeywords = map[string]Kind{
+	"NAME":          KwName,
+	"PARAMETER":     KwParameter,
+	"VARIABLE":      KwVariable,
+	"INORDER":       KwInorder,
+	"OUTORDER":      KwOutorder,
+	"PIIFVARIABLE":  KwPIIFVariable,
+	"SUBFUNCTION":   KwSubfunction,
+	"SUBCOMPONENT":  KwSubcomponent,
+	"FUNCTIONS":     KwFunctions,
+	"C_SUBFUNCTION": KwSubfunction, // treated like SUBFUNCTION declarations
+}
+
+var tildeOps = map[byte]Kind{
+	'a': AsyncOp, 'b': BufOp, 's': SchmittOp, 'd': DelayOp,
+	't': TriOp, 'w': WireOrOp, 'f': FallOp, 'r': RiseOp,
+	'h': HighOp, 'l': LowOp,
+}
+
+var hashDirectives = map[string]Kind{
+	"if":       HashIf,
+	"else":     HashElse,
+	"for":      HashFor,
+	"c_line":   HashCLine,
+	"cline":    HashCLine,
+	"break":    HashBreak,
+	"continue": HashContinue,
+}
+
+// lexer tokenizes IIF source text.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+// Lex tokenizes the whole source, returning the token stream terminated by
+// an EOF token.
+func Lex(src string) ([]Token, error) {
+	lx := newLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}
+
+func (l *lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) peekAt(n int) byte {
+	if l.off+n >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+n]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.off < len(l.src) {
+		c := l.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peekAt(1) == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.off < len(l.src) {
+				if l.peek() == '*' && l.peekAt(1) == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return errf(start, "unterminated comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func (l *lexer) lexIdent() string {
+	start := l.off
+	for l.off < len(l.src) && isIdentPart(l.peek()) {
+		l.advance()
+	}
+	return l.src[start:l.off]
+}
+
+func (l *lexer) next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := l.pos()
+	if l.off >= len(l.src) {
+		return Token{Kind: EOF, Pos: pos}, nil
+	}
+	c := l.peek()
+
+	switch {
+	case isIdentStart(c):
+		name := l.lexIdent()
+		if k, ok := declKeywords[strings.ToUpper(name)]; ok {
+			// Declaration keywords are only recognized in upper case to
+			// avoid stealing signal names like "name"; the paper writes
+			// them upper-case throughout.
+			if name == strings.ToUpper(name) {
+				return Token{Kind: k, Text: name, Pos: pos}, nil
+			}
+		}
+		return Token{Kind: IDENT, Text: name, Pos: pos}, nil
+
+	case unicode.IsDigit(rune(c)):
+		start := l.off
+		for l.off < len(l.src) && unicode.IsDigit(rune(l.peek())) {
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		v, err := strconv.Atoi(text)
+		if err != nil {
+			return Token{}, errf(pos, "bad integer %q", text)
+		}
+		return Token{Kind: INT, Text: text, Int: v, Pos: pos}, nil
+	}
+
+	l.advance()
+	switch c {
+	case ':':
+		return Token{Kind: Colon, Pos: pos}, nil
+	case ';':
+		return Token{Kind: Semicolon, Pos: pos}, nil
+	case ',':
+		return Token{Kind: Comma, Pos: pos}, nil
+	case '[':
+		return Token{Kind: LBracket, Pos: pos}, nil
+	case ']':
+		return Token{Kind: RBracket, Pos: pos}, nil
+	case '{':
+		return Token{Kind: LBrace, Pos: pos}, nil
+	case '}':
+		return Token{Kind: RBrace, Pos: pos}, nil
+	case '@':
+		return Token{Kind: At, Pos: pos}, nil
+
+	case '(':
+		// "(+)" is XOR, "(.)" is XNOR; either followed by '=' is the
+		// aggregate form. Otherwise a plain left parenthesis.
+		if l.peek() == '+' && l.peekAt(1) == ')' {
+			l.advance()
+			l.advance()
+			if l.peek() == '=' && l.peekAt(1) != '=' {
+				l.advance()
+				return Token{Kind: InsXor, Pos: pos}, nil
+			}
+			return Token{Kind: Xor, Pos: pos}, nil
+		}
+		if l.peek() == '.' && l.peekAt(1) == ')' {
+			l.advance()
+			l.advance()
+			if l.peek() == '=' && l.peekAt(1) != '=' {
+				l.advance()
+				return Token{Kind: InsXnor, Pos: pos}, nil
+			}
+			return Token{Kind: Xnor, Pos: pos}, nil
+		}
+		return Token{Kind: LParen, Pos: pos}, nil
+	case ')':
+		return Token{Kind: RParen, Pos: pos}, nil
+
+	case '+':
+		if l.peek() == '+' {
+			l.advance()
+			return Token{Kind: Inc, Pos: pos}, nil
+		}
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: InsAdd, Pos: pos}, nil
+		}
+		return Token{Kind: Plus, Pos: pos}, nil
+	case '-':
+		if l.peek() == '-' {
+			l.advance()
+			return Token{Kind: Dec, Pos: pos}, nil
+		}
+		return Token{Kind: Minus, Pos: pos}, nil
+	case '*':
+		if l.peek() == '*' {
+			l.advance()
+			return Token{Kind: Pow, Pos: pos}, nil
+		}
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: InsMul, Pos: pos}, nil
+		}
+		return Token{Kind: Star, Pos: pos}, nil
+	case '/':
+		return Token{Kind: Slash, Pos: pos}, nil
+	case '%':
+		return Token{Kind: Pct, Pos: pos}, nil
+	case '!':
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: Neq, Pos: pos}, nil
+		}
+		return Token{Kind: Bang, Pos: pos}, nil
+	case '=':
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: EqEq, Pos: pos}, nil
+		}
+		return Token{Kind: Assign, Pos: pos}, nil
+	case '<':
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: Leq, Pos: pos}, nil
+		}
+		return Token{Kind: Lt, Pos: pos}, nil
+	case '>':
+		if l.peek() == '=' {
+			l.advance()
+			return Token{Kind: Geq, Pos: pos}, nil
+		}
+		return Token{Kind: Gt, Pos: pos}, nil
+	case '&':
+		if l.peek() == '&' {
+			l.advance()
+			return Token{Kind: LAnd, Pos: pos}, nil
+		}
+		return Token{}, errf(pos, "unexpected '&' (use '&&' or '*')")
+	case '|':
+		if l.peek() == '|' {
+			l.advance()
+			return Token{Kind: LOr, Pos: pos}, nil
+		}
+		return Token{}, errf(pos, "unexpected '|' (use '||' or '+')")
+
+	case '~':
+		op := l.peek()
+		if k, ok := tildeOps[op]; ok {
+			l.advance()
+			return Token{Kind: k, Pos: pos}, nil
+		}
+		return Token{}, errf(pos, "unknown operator '~%c'", op)
+
+	case '#':
+		if !isIdentStart(l.peek()) {
+			return Token{}, errf(pos, "'#' must be followed by a directive or subfunction name")
+		}
+		name := l.lexIdent()
+		if k, ok := hashDirectives[strings.ToLower(name)]; ok {
+			return Token{Kind: k, Text: name, Pos: pos}, nil
+		}
+		return Token{Kind: HashCall, Text: name, Pos: pos}, nil
+	}
+	return Token{}, errf(pos, "unexpected character %q", string(rune(c)))
+}

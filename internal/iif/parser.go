@@ -1,0 +1,584 @@
+package iif
+
+// Parse parses a complete IIF design description.
+func Parse(src string) (*Design, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	d, err := p.parseDesign()
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// ParseExpr parses a single IIF expression (used by tests and by the CQL
+// layer for attribute expressions).
+func ParseExpr(src string) (Expr, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != EOF {
+		return nil, errf(p.cur().Pos, "unexpected %s after expression", p.cur())
+	}
+	return e, nil
+}
+
+type parser struct {
+	toks []Token
+	i    int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.i] }
+func (p *parser) peek() Token {
+	if p.i+1 < len(p.toks) {
+		return p.toks[p.i+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) advance() Token {
+	t := p.toks[p.i]
+	if p.i < len(p.toks)-1 {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) expect(k Kind) (Token, error) {
+	t := p.cur()
+	if t.Kind != k {
+		return t, errf(t.Pos, "expected %s, found %s", k, t)
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) accept(k Kind) bool {
+	if p.cur().Kind == k {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+// ---- Declarations ----
+
+func isDeclKeyword(k Kind) bool {
+	switch k {
+	case KwName, KwParameter, KwVariable, KwInorder, KwOutorder,
+		KwPIIFVariable, KwSubfunction, KwSubcomponent, KwFunctions:
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseDesign() (*Design, error) {
+	d := &Design{}
+	for isDeclKeyword(p.cur().Kind) {
+		if err := p.parseDecl(d); err != nil {
+			return nil, err
+		}
+	}
+	if d.Name == "" {
+		return nil, errf(p.cur().Pos, "design has no NAME declaration")
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	d.Body = body
+	if p.cur().Kind != EOF {
+		return nil, errf(p.cur().Pos, "unexpected %s after design body", p.cur())
+	}
+	return d, nil
+}
+
+// parseDecl parses one declaration line: KEYWORD (:|=) list [;].
+// The trailing semicolon is optional so that paper examples written
+// without it (e.g. the SHL0 shifter) parse.
+func (p *parser) parseDecl(d *Design) error {
+	kw := p.advance()
+	if p.cur().Kind != Colon && p.cur().Kind != Assign {
+		return errf(p.cur().Pos, "expected ':' after %s", kw.Kind)
+	}
+	p.advance()
+
+	switch kw.Kind {
+	case KwName:
+		t, err := p.expect(IDENT)
+		if err != nil {
+			return err
+		}
+		if d.Name != "" {
+			return errf(t.Pos, "duplicate NAME declaration")
+		}
+		d.Name = t.Text
+	case KwParameter, KwVariable, KwSubfunction, KwSubcomponent, KwFunctions:
+		names, err := p.parseNameList()
+		if err != nil {
+			return err
+		}
+		switch kw.Kind {
+		case KwParameter:
+			d.Params = append(d.Params, names...)
+		case KwVariable:
+			d.Vars = append(d.Vars, names...)
+		case KwSubfunction:
+			d.SubFunctions = append(d.SubFunctions, names...)
+		case KwSubcomponent:
+			d.SubComponents = append(d.SubComponents, names...)
+		case KwFunctions:
+			d.Functions = append(d.Functions, names...)
+		}
+	case KwInorder, KwOutorder, KwPIIFVariable:
+		decls, err := p.parseSignalDeclList()
+		if err != nil {
+			return err
+		}
+		switch kw.Kind {
+		case KwInorder:
+			d.Inputs = append(d.Inputs, decls...)
+		case KwOutorder:
+			d.Outputs = append(d.Outputs, decls...)
+		case KwPIIFVariable:
+			d.Internal = append(d.Internal, decls...)
+		}
+	}
+	p.accept(Semicolon)
+	return nil
+}
+
+func (p *parser) parseNameList() ([]string, error) {
+	var names []string
+	for {
+		t, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, t.Text)
+		if !p.accept(Comma) {
+			return names, nil
+		}
+	}
+}
+
+func (p *parser) parseSignalDeclList() ([]SignalDecl, error) {
+	var decls []SignalDecl
+	for {
+		t, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		sd := SignalDecl{Name: t.Text, Pos: t.Pos}
+		for p.cur().Kind == LBracket {
+			p.advance()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBracket); err != nil {
+				return nil, err
+			}
+			sd.Dims = append(sd.Dims, e)
+		}
+		decls = append(decls, sd)
+		if !p.accept(Comma) {
+			return decls, nil
+		}
+	}
+}
+
+// ---- Statements ----
+
+func (p *parser) parseBlock() (*Block, error) {
+	lb, err := p.expect(LBrace)
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{Pos: lb.Pos}
+	for p.cur().Kind != RBrace {
+		if p.cur().Kind == EOF {
+			return nil, errf(lb.Pos, "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	p.advance() // consume }
+	return b, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch t.Kind {
+	case LBrace:
+		return p.parseBlock()
+
+	case HashIf:
+		p.advance()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st := &If{Cond: cond, Then: then, Pos: t.Pos}
+		if p.cur().Kind == HashElse {
+			p.advance()
+			els, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+		return st, nil
+
+	case HashFor:
+		p.advance()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		st := &For{Pos: t.Pos}
+		var err error
+		if p.cur().Kind != Semicolon {
+			st.Init, err = p.parseSmallExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		if p.cur().Kind != Semicolon {
+			st.Cond, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		if p.cur().Kind != RParen {
+			st.Step, err = p.parseSmallExpr()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st.Body = body
+		return st, nil
+
+	case HashCLine:
+		p.advance()
+		a, err := p.parseAssignStmt(true)
+		if err != nil {
+			return nil, err
+		}
+		return a, nil
+
+	case HashBreak:
+		p.advance()
+		p.accept(Semicolon)
+		return &Break{Pos: t.Pos}, nil
+
+	case HashContinue:
+		p.advance()
+		p.accept(Semicolon)
+		return &Continue{Pos: t.Pos}, nil
+
+	case HashCall:
+		p.advance()
+		if _, err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		call := &Call{Name: t.Text, Pos: t.Pos}
+		if p.cur().Kind != RParen {
+			for {
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+				if !p.accept(Comma) {
+					break
+				}
+			}
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		p.accept(Semicolon)
+		return call, nil
+
+	case IDENT:
+		return p.parseAssignStmt(false)
+	}
+	return nil, errf(t.Pos, "unexpected %s at start of statement", t)
+}
+
+// parseAssignStmt parses "lvalue op expr ;".
+func (p *parser) parseAssignStmt(cline bool) (*Assign, error) {
+	lhs, err := p.parseRef()
+	if err != nil {
+		return nil, err
+	}
+	var op AssignOp
+	switch p.cur().Kind {
+	case Assign:
+		op = OpAssign
+	case InsAdd:
+		op = OpAggOr
+	case InsMul:
+		op = OpAggAnd
+	case InsXor:
+		op = OpAggXor
+	case InsXnor:
+		op = OpAggXnor
+	default:
+		return nil, errf(p.cur().Pos, "expected assignment operator, found %s", p.cur())
+	}
+	pos := p.advance().Pos
+	rhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(Semicolon); err != nil {
+		return nil, err
+	}
+	return &Assign{LHS: lhs, Op: op, RHS: rhs, CLine: cline, Pos: pos}, nil
+}
+
+// parseSmallExpr parses the init/step expressions of a #for header:
+// an assignment "i = e", or an expression such as "i++".
+func (p *parser) parseSmallExpr() (Expr, error) {
+	if p.cur().Kind == IDENT && p.peek().Kind == Assign {
+		lhs, err := p.parseRef()
+		if err != nil {
+			return nil, err
+		}
+		pos := p.advance().Pos // '='
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		// Represent as Binary{BEq-like}? No: use a dedicated marker — an
+		// assignment inside an expression context is encoded as a Binary
+		// with the assignment captured via forAssign.
+		return &forAssign{LHS: lhs, RHS: rhs, P: pos}, nil
+	}
+	return p.parseExpr()
+}
+
+// forAssign is an internal expression node for #for-header assignments.
+type forAssign struct {
+	LHS *Ref
+	RHS Expr
+	P   Pos
+}
+
+func (*forAssign) exprNode() {}
+
+func (p *parser) parseRef() (*Ref, error) {
+	t, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	r := &Ref{Name: t.Text, Pos: t.Pos}
+	for p.cur().Kind == LBracket {
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RBracket); err != nil {
+			return nil, err
+		}
+		r.Index = append(r.Index, e)
+	}
+	return r, nil
+}
+
+// ---- Expressions ----
+//
+// Precedence (low to high), following the yacc grammar of Appendix A.2:
+//   1: ||
+//   2: &&
+//   3: == !=
+//   4: <= >= < >
+//   5: + - ~d ~t ~w @ ~a
+//   6: / * %
+//   7: (+) (.)
+//   8: **
+//   9: unary ! ~b ~s ~r ~f ~h ~l ++ -- -  and postfix ++ --
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseBin(1) }
+
+type binLevel struct {
+	kinds map[Kind]BinaryOp
+}
+
+var binLevels = []binLevel{
+	{map[Kind]BinaryOp{LOr: BLOr}},
+	{map[Kind]BinaryOp{LAnd: BLAnd}},
+	{map[Kind]BinaryOp{EqEq: BEq, Neq: BNeq}},
+	{map[Kind]BinaryOp{Leq: BLeq, Geq: BGeq, Lt: BLt, Gt: BGt}},
+	{map[Kind]BinaryOp{Plus: BOr, Minus: BMinus, DelayOp: BDelay, TriOp: BTri, WireOrOp: BWireOr, At: BAt}},
+	{map[Kind]BinaryOp{Slash: BDiv, Star: BAnd, Pct: BMod}},
+	{map[Kind]BinaryOp{Xor: BXor, Xnor: BXnor}},
+	{map[Kind]BinaryOp{Pow: BPow}},
+}
+
+func (p *parser) parseBin(level int) (Expr, error) {
+	if level > len(binLevels) {
+		return p.parseUnary()
+	}
+	lv := binLevels[level-1]
+	x, err := p.parseBin(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		// ~a has the precedence of level 5 and is parsed structurally:
+		// X ~a ( value/cond, ... ).
+		if level == 5 && t.Kind == AsyncOp {
+			p.advance()
+			items, err := p.parseAsyncList()
+			if err != nil {
+				return nil, err
+			}
+			x = &Async{X: x, Items: items, Pos: t.Pos}
+			continue
+		}
+		op, ok := lv.kinds[t.Kind]
+		if !ok {
+			return x, nil
+		}
+		p.advance()
+		y, err := p.parseBin(level + 1)
+		if err != nil {
+			return nil, err
+		}
+		x = &Binary{Op: op, X: x, Y: y, Pos: t.Pos}
+	}
+}
+
+// parseAsyncList parses "( value/cond {, value/cond} )". The value is a
+// unary expression (typically the constant 0 or 1); the condition is a
+// full expression (parenthesize conditions that contain '/').
+func (p *parser) parseAsyncList() ([]AsyncItem, error) {
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	var items []AsyncItem
+	for {
+		val, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Slash); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, AsyncItem{Value: val, Cond: cond})
+		if !p.accept(Comma) {
+			break
+		}
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	return items, nil
+}
+
+var prefixUnary = map[Kind]UnaryOp{
+	Bang: UNot, BufOp: UBuf, SchmittOp: USchmitt,
+	RiseOp: URise, FallOp: UFall, HighOp: UHigh, LowOp: ULow,
+	Minus: UNeg, Inc: UPreInc, Dec: UPreDec,
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	if op, ok := prefixUnary[t.Kind]; ok {
+		p.advance()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: op, X: x, Pos: t.Pos}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case Inc:
+			pos := p.advance().Pos
+			x = &Unary{Op: UPostInc, X: x, Pos: pos}
+		case Dec:
+			pos := p.advance().Pos
+			x = &Unary{Op: UPostDec, X: x, Pos: pos}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case IDENT:
+		return p.parseRef()
+	case INT:
+		p.advance()
+		return &IntLit{V: t.Int, Pos: t.Pos}, nil
+	case LParen:
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, errf(t.Pos, "unexpected %s in expression", t)
+}
+
+// Errf is exported for sibling packages that report IIF-positioned errors.
+func Errf(pos Pos, format string, args ...any) error {
+	return errf(pos, format, args...)
+}

@@ -1,0 +1,142 @@
+package iif
+
+import "fmt"
+
+// Kind identifies a lexical token class of the IIF language (Appendix A.2
+// of the paper).
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	INT
+
+	// Declaration keywords.
+	KwName
+	KwParameter
+	KwVariable
+	KwInorder
+	KwOutorder
+	KwPIIFVariable
+	KwSubfunction
+	KwSubcomponent
+	KwFunctions
+
+	// Punctuation.
+	Colon     // :
+	Semicolon // ;
+	Comma     // ,
+	LParen    // (
+	RParen    // )
+	LBracket  // [
+	RBracket  // ]
+	LBrace    // {
+	RBrace    // }
+
+	// Boolean / arithmetic operators.
+	Plus   // + (boolean OR / C addition)
+	Star   // * (boolean AND / C multiplication)
+	Bang   // ! (boolean NOT / C logical not)
+	Xor    // (+)
+	Xnor   // (.)
+	Minus  // -
+	Slash  // / (C division; async value/condition separator)
+	Pct    // %
+	Pow    // **
+	Assign // =
+	Inc    // ++
+	Dec    // --
+
+	// Aggregate assignment operators.
+	InsAdd  // +=
+	InsMul  // *=
+	InsXor  // (+)=
+	InsXnor // (.)=
+
+	// Comparison / logical (C expressions).
+	EqEq // ==
+	Neq  // !=
+	Leq  // <=
+	Geq  // >=
+	Lt   // <
+	Gt   // >
+	LAnd // &&
+	LOr  // ||
+
+	// IIF hardware operators.
+	At       // @ (synchronous clocking)
+	AsyncOp  // ~a
+	BufOp    // ~b
+	SchmittOp// ~s
+	DelayOp  // ~d
+	TriOp    // ~t
+	WireOrOp // ~w
+	FallOp   // ~f
+	RiseOp   // ~r
+	HighOp   // ~h
+	LowOp    // ~l
+
+	// Preprocessor-style directives.
+	HashIf       // #if
+	HashElse     // #else
+	HashFor      // #for
+	HashCLine    // #c_line / #cline
+	HashBreak    // #break
+	HashContinue // #continue
+	HashCall     // #IDENT — macro (subfunction) invocation
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", IDENT: "identifier", INT: "integer",
+	KwName: "NAME", KwParameter: "PARAMETER", KwVariable: "VARIABLE",
+	KwInorder: "INORDER", KwOutorder: "OUTORDER", KwPIIFVariable: "PIIFVARIABLE",
+	KwSubfunction: "SUBFUNCTION", KwSubcomponent: "SUBCOMPONENT", KwFunctions: "FUNCTIONS",
+	Colon: ":", Semicolon: ";", Comma: ",",
+	LParen: "(", RParen: ")", LBracket: "[", RBracket: "]", LBrace: "{", RBrace: "}",
+	Plus: "+", Star: "*", Bang: "!", Xor: "(+)", Xnor: "(.)",
+	Minus: "-", Slash: "/", Pct: "%", Pow: "**", Assign: "=",
+	Inc: "++", Dec: "--",
+	InsAdd: "+=", InsMul: "*=", InsXor: "(+)=", InsXnor: "(.)=",
+	EqEq: "==", Neq: "!=", Leq: "<=", Geq: ">=", Lt: "<", Gt: ">",
+	LAnd: "&&", LOr: "||",
+	At: "@", AsyncOp: "~a", BufOp: "~b", SchmittOp: "~s", DelayOp: "~d",
+	TriOp: "~t", WireOrOp: "~w", FallOp: "~f", RiseOp: "~r", HighOp: "~h", LowOp: "~l",
+	HashIf: "#if", HashElse: "#else", HashFor: "#for", HashCLine: "#c_line",
+	HashBreak: "#break", HashContinue: "#continue", HashCall: "#call",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Pos is a line/column source position (1-based).
+type Pos struct {
+	Line, Col int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token with its source text and position.
+type Token struct {
+	Kind Kind
+	Text string // identifier name, integer literal text, or macro name for HashCall
+	Int  int    // value when Kind == INT
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT:
+		return fmt.Sprintf("ident(%s)", t.Text)
+	case INT:
+		return fmt.Sprintf("int(%d)", t.Int)
+	case HashCall:
+		return fmt.Sprintf("#%s", t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

@@ -1,0 +1,485 @@
+// Package relstore is an embedded relational store standing in for the
+// INGRES database system the paper uses to hold ICDB metadata (component
+// definitions, implementations, generators, instances, tool parameters).
+//
+// ICDB only needs typed tables with exact-match selection, ordered scans,
+// insert/update/delete, and persistence; this package provides exactly
+// that with no external dependencies. Rows are schemaful: every value must
+// match the declared column type.
+package relstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ColType is the type of a column.
+type ColType int
+
+// Column types.
+const (
+	TString ColType = iota
+	TInt
+	TFloat
+	TBool
+)
+
+func (t ColType) String() string {
+	switch t {
+	case TString:
+		return "string"
+	case TInt:
+		return "int"
+	case TFloat:
+		return "float"
+	case TBool:
+		return "bool"
+	}
+	return fmt.Sprintf("ColType(%d)", int(t))
+}
+
+// Column declares one column of a table schema.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Schema declares a table: its name, columns, and primary-key columns.
+type Schema struct {
+	Table   string
+	Columns []Column
+	// Key lists the column names forming the primary key. Empty means the
+	// table has no uniqueness constraint (rows get hidden rowids).
+	Key []string
+}
+
+// Row is a single record keyed by column name.
+type Row map[string]any
+
+// clone deep-copies a row (values are scalars).
+func (r Row) clone() Row {
+	c := make(Row, len(r))
+	for k, v := range r {
+		c[k] = v
+	}
+	return c
+}
+
+// Pred is a selection predicate.
+type Pred func(Row) bool
+
+// Eq returns a predicate matching rows whose column col equals v.
+func Eq(col string, v any) Pred {
+	return func(r Row) bool { return valueEqual(r[col], v) }
+}
+
+// And combines predicates conjunctively.
+func And(ps ...Pred) Pred {
+	return func(r Row) bool {
+		for _, p := range ps {
+			if !p(r) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+func valueEqual(a, b any) bool {
+	// Normalize numeric types so Eq("size", 5) matches a stored int64
+	// after JSON round-trips.
+	af, aok := toFloat(a)
+	bf, bok := toFloat(b)
+	if aok && bok {
+		return af == bf
+	}
+	return a == b
+}
+
+func toFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case int:
+		return float64(x), true
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	case float32:
+		return float64(x), true
+	}
+	return 0, false
+}
+
+type table struct {
+	schema Schema
+	rows   map[int64]Row // rowid -> row
+	nextID int64
+	// keyIndex maps primary-key string to rowid when schema.Key is set.
+	keyIndex map[string]int64
+}
+
+// Store is a set of named tables. All methods are safe for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	tables map[string]*table
+}
+
+// New creates an empty store.
+func New() *Store {
+	return &Store{tables: make(map[string]*table)}
+}
+
+// CreateTable registers a new table. It fails if the table exists, the
+// schema has no columns, duplicate column names, or key columns that are
+// not declared.
+func (s *Store) CreateTable(sc Schema) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sc.Table == "" {
+		return fmt.Errorf("relstore: empty table name")
+	}
+	if _, ok := s.tables[sc.Table]; ok {
+		return fmt.Errorf("relstore: table %q already exists", sc.Table)
+	}
+	if len(sc.Columns) == 0 {
+		return fmt.Errorf("relstore: table %q has no columns", sc.Table)
+	}
+	cols := make(map[string]ColType)
+	for _, c := range sc.Columns {
+		if _, dup := cols[c.Name]; dup {
+			return fmt.Errorf("relstore: table %q duplicate column %q", sc.Table, c.Name)
+		}
+		cols[c.Name] = c.Type
+	}
+	for _, k := range sc.Key {
+		if _, ok := cols[k]; !ok {
+			return fmt.Errorf("relstore: table %q key column %q not declared", sc.Table, k)
+		}
+	}
+	s.tables[sc.Table] = &table{
+		schema:   sc,
+		rows:     make(map[int64]Row),
+		keyIndex: make(map[string]int64),
+	}
+	return nil
+}
+
+// DropTable removes a table and all its rows.
+func (s *Store) DropTable(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[name]; !ok {
+		return fmt.Errorf("relstore: no table %q", name)
+	}
+	delete(s.tables, name)
+	return nil
+}
+
+// Tables returns the table names in sorted order.
+func (s *Store) Tables() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SchemaOf returns the schema of table name.
+func (s *Store) SchemaOf(name string) (Schema, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[name]
+	if !ok {
+		return Schema{}, fmt.Errorf("relstore: no table %q", name)
+	}
+	return t.schema, nil
+}
+
+func (t *table) checkRow(r Row) error {
+	for _, c := range t.schema.Columns {
+		v, present := r[c.Name]
+		if !present {
+			return fmt.Errorf("relstore: table %q missing column %q", t.schema.Table, c.Name)
+		}
+		if err := checkType(c.Type, v); err != nil {
+			return fmt.Errorf("relstore: table %q column %q: %w", t.schema.Table, c.Name, err)
+		}
+	}
+	for k := range r {
+		found := false
+		for _, c := range t.schema.Columns {
+			if c.Name == k {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("relstore: table %q has no column %q", t.schema.Table, k)
+		}
+	}
+	return nil
+}
+
+func checkType(ct ColType, v any) error {
+	switch ct {
+	case TString:
+		if _, ok := v.(string); !ok {
+			return fmt.Errorf("want string, got %T", v)
+		}
+	case TInt:
+		switch v.(type) {
+		case int, int64:
+		default:
+			return fmt.Errorf("want int, got %T", v)
+		}
+	case TFloat:
+		switch v.(type) {
+		case float64, float32, int, int64:
+		default:
+			return fmt.Errorf("want float, got %T", v)
+		}
+	case TBool:
+		if _, ok := v.(bool); !ok {
+			return fmt.Errorf("want bool, got %T", v)
+		}
+	}
+	return nil
+}
+
+func (t *table) keyOf(r Row) string {
+	if len(t.schema.Key) == 0 {
+		return ""
+	}
+	parts := make([]string, len(t.schema.Key))
+	for i, k := range t.schema.Key {
+		parts[i] = fmt.Sprintf("%v", r[k])
+	}
+	return strings.Join(parts, "\x00")
+}
+
+// Insert adds a row. It fails on schema violations or primary-key
+// conflicts.
+func (s *Store) Insert(tableName string, r Row) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[tableName]
+	if !ok {
+		return fmt.Errorf("relstore: no table %q", tableName)
+	}
+	if err := t.checkRow(r); err != nil {
+		return err
+	}
+	if k := t.keyOf(r); k != "" {
+		if _, conflict := t.keyIndex[k]; conflict {
+			return fmt.Errorf("relstore: table %q duplicate key %v", tableName, t.schema.Key)
+		}
+		t.keyIndex[k] = t.nextID
+	}
+	t.rows[t.nextID] = r.clone()
+	t.nextID++
+	return nil
+}
+
+// Upsert inserts r, replacing any existing row with the same primary key.
+// The table must declare a key.
+func (s *Store) Upsert(tableName string, r Row) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[tableName]
+	if !ok {
+		return fmt.Errorf("relstore: no table %q", tableName)
+	}
+	if len(t.schema.Key) == 0 {
+		return fmt.Errorf("relstore: table %q has no key; cannot upsert", tableName)
+	}
+	if err := t.checkRow(r); err != nil {
+		return err
+	}
+	k := t.keyOf(r)
+	if id, exists := t.keyIndex[k]; exists {
+		t.rows[id] = r.clone()
+		return nil
+	}
+	t.keyIndex[k] = t.nextID
+	t.rows[t.nextID] = r.clone()
+	t.nextID++
+	return nil
+}
+
+// Select returns copies of all rows of tableName matching p (nil p matches
+// everything), in insertion order.
+func (s *Store) Select(tableName string, p Pred) ([]Row, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[tableName]
+	if !ok {
+		return nil, fmt.Errorf("relstore: no table %q", tableName)
+	}
+	ids := make([]int64, 0, len(t.rows))
+	for id := range t.rows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var out []Row
+	for _, id := range ids {
+		r := t.rows[id]
+		if p == nil || p(r) {
+			out = append(out, r.clone())
+		}
+	}
+	return out, nil
+}
+
+// SelectOne returns the single row matching p. It fails if zero or more
+// than one row matches.
+func (s *Store) SelectOne(tableName string, p Pred) (Row, error) {
+	rows, err := s.Select(tableName, p)
+	if err != nil {
+		return nil, err
+	}
+	switch len(rows) {
+	case 0:
+		return nil, fmt.Errorf("relstore: table %q: no matching row", tableName)
+	case 1:
+		return rows[0], nil
+	default:
+		return nil, fmt.Errorf("relstore: table %q: %d rows match, want 1", tableName, len(rows))
+	}
+}
+
+// Update applies fn to every row matching p and returns the number of rows
+// changed. fn receives a copy and returns the replacement row.
+func (s *Store) Update(tableName string, p Pred, fn func(Row) Row) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[tableName]
+	if !ok {
+		return 0, fmt.Errorf("relstore: no table %q", tableName)
+	}
+	n := 0
+	for id, r := range t.rows {
+		if p != nil && !p(r) {
+			continue
+		}
+		nr := fn(r.clone())
+		if err := t.checkRow(nr); err != nil {
+			return n, err
+		}
+		oldKey, newKey := t.keyOf(r), t.keyOf(nr)
+		if oldKey != newKey {
+			if _, conflict := t.keyIndex[newKey]; conflict {
+				return n, fmt.Errorf("relstore: table %q update creates duplicate key", tableName)
+			}
+			delete(t.keyIndex, oldKey)
+			if newKey != "" {
+				t.keyIndex[newKey] = id
+			}
+		}
+		t.rows[id] = nr
+		n++
+	}
+	return n, nil
+}
+
+// Delete removes all rows matching p and returns the count removed.
+func (s *Store) Delete(tableName string, p Pred) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[tableName]
+	if !ok {
+		return 0, fmt.Errorf("relstore: no table %q", tableName)
+	}
+	n := 0
+	for id, r := range t.rows {
+		if p == nil || p(r) {
+			delete(t.keyIndex, t.keyOf(r))
+			delete(t.rows, id)
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Count returns the number of rows matching p.
+func (s *Store) Count(tableName string, p Pred) (int, error) {
+	rows, err := s.Select(tableName, p)
+	if err != nil {
+		return 0, err
+	}
+	return len(rows), nil
+}
+
+// persistedTable is the JSON wire form of one table.
+type persistedTable struct {
+	Schema Schema `json:"schema"`
+	Rows   []Row  `json:"rows"`
+}
+
+// Save writes the whole store as JSON to path.
+func (s *Store) Save(path string) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]persistedTable, len(s.tables))
+	for name, t := range s.tables {
+		ids := make([]int64, 0, len(t.rows))
+		for id := range t.rows {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		pt := persistedTable{Schema: t.schema}
+		for _, id := range ids {
+			pt.Rows = append(pt.Rows, t.rows[id])
+		}
+		out[name] = pt
+	}
+	data, err := json.MarshalIndent(out, "", " ")
+	if err != nil {
+		return fmt.Errorf("relstore: save: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads a store previously written by Save. JSON numbers arrive as
+// float64; integer columns are normalized back to int64.
+func Load(path string) (*Store, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("relstore: load: %w", err)
+	}
+	var in map[string]persistedTable
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("relstore: load %s: %w", path, err)
+	}
+	s := New()
+	names := make([]string, 0, len(in))
+	for n := range in {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pt := in[n]
+		if err := s.CreateTable(pt.Schema); err != nil {
+			return nil, err
+		}
+		for _, r := range pt.Rows {
+			for _, c := range pt.Schema.Columns {
+				if c.Type == TInt {
+					if f, ok := r[c.Name].(float64); ok {
+						r[c.Name] = int64(f)
+					}
+				}
+			}
+			if err := s.Insert(n, r); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}
