@@ -1,0 +1,3 @@
+module icdb
+
+go 1.24

@@ -420,43 +420,53 @@ func (n *Network) Clone() *Network {
 
 // CloneNode deep-copies a node.
 func CloneNode(x Node) Node {
+	return RenameNode(x, func(name string) string { return name })
+}
+
+// RenameNode deep-copies node x, applying rename to every signal
+// reference. This is the single traversal both cloning and the
+// expander's instance-prefix splicing use, so new node kinds only need
+// to be handled here.
+func RenameNode(x Node, rename func(string) string) Node {
 	switch v := x.(type) {
-	case Var, Const:
+	case Var:
+		return Var{Name: rename(v.Name)}
+	case Const:
 		return v
 	case Not:
-		return Not{X: CloneNode(v.X)}
+		return Not{X: RenameNode(v.X, rename)}
 	case Buf:
-		return Buf{X: CloneNode(v.X)}
+		return Buf{X: RenameNode(v.X, rename)}
 	case Schmitt:
-		return Schmitt{X: CloneNode(v.X)}
+		return Schmitt{X: RenameNode(v.X, rename)}
 	case And:
-		return And{Xs: cloneNodes(v.Xs)}
+		return And{Xs: renameNodes(v.Xs, rename)}
 	case Or:
-		return Or{Xs: cloneNodes(v.Xs)}
+		return Or{Xs: renameNodes(v.Xs, rename)}
 	case Xor:
-		return Xor{X: CloneNode(v.X), Y: CloneNode(v.Y)}
+		return Xor{X: RenameNode(v.X, rename), Y: RenameNode(v.Y, rename)}
 	case Xnor:
-		return Xnor{X: CloneNode(v.X), Y: CloneNode(v.Y)}
+		return Xnor{X: RenameNode(v.X, rename), Y: RenameNode(v.Y, rename)}
 	case Tristate:
-		return Tristate{X: CloneNode(v.X), Ctrl: CloneNode(v.Ctrl)}
+		return Tristate{X: RenameNode(v.X, rename), Ctrl: RenameNode(v.Ctrl, rename)}
 	case WireOr:
-		return WireOr{Xs: cloneNodes(v.Xs)}
+		return WireOr{Xs: renameNodes(v.Xs, rename)}
 	case DelayEl:
-		return DelayEl{X: CloneNode(v.X), NS: v.NS}
+		return DelayEl{X: RenameNode(v.X, rename), NS: v.NS}
 	case FF:
-		ff := FF{D: CloneNode(v.D), Edge: v.Edge, Clock: CloneNode(v.Clock)}
+		ff := FF{D: RenameNode(v.D, rename), Edge: v.Edge, Clock: RenameNode(v.Clock, rename)}
 		for _, r := range v.Async {
-			ff.Async = append(ff.Async, AsyncRule{Value: r.Value, Cond: CloneNode(r.Cond)})
+			ff.Async = append(ff.Async, AsyncRule{Value: r.Value, Cond: RenameNode(r.Cond, rename)})
 		}
 		return ff
 	}
 	return x
 }
 
-func cloneNodes(xs []Node) []Node {
+func renameNodes(xs []Node, rename func(string) string) []Node {
 	out := make([]Node, len(xs))
 	for i, x := range xs {
-		out[i] = CloneNode(x)
+		out[i] = RenameNode(x, rename)
 	}
 	return out
 }

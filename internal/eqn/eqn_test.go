@@ -1,0 +1,343 @@
+package eqn
+
+import (
+	"strings"
+	"testing"
+)
+
+// counterNet builds a 1-bit counter: q feeds back through an xor into a
+// flip-flop, exercising the FF state boundary.
+func counterNet(t *testing.T) *Network {
+	t.Helper()
+	n := NewNetwork("cnt1")
+	n.Inputs = []string{"en", "clk"}
+	n.Outputs = []string{"q"}
+	if err := n.AddEquation("d", Xor{X: Var{"q"}, Y: Var{"en"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddEquation("q", FF{D: Var{"d"}, Edge: Rise, Clock: Var{"clk"}}); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestAddEquationErrors(t *testing.T) {
+	n := NewNetwork("t")
+	n.Inputs = []string{"a"}
+	if err := n.AddEquation("x", Var{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddEquation("x", Var{"a"}); err == nil {
+		t.Error("duplicate definition accepted")
+	}
+	if err := n.AddEquation("a", Const{true}); err == nil {
+		t.Error("assignment to input accepted")
+	}
+}
+
+func TestDefAndReplaceDef(t *testing.T) {
+	n := counterNet(t)
+	if n.Def("en") != nil {
+		t.Error("Def(input) != nil")
+	}
+	if n.Def("nope") != nil {
+		t.Error("Def(undefined) != nil")
+	}
+	if _, ok := n.Def("d").(Xor); !ok {
+		t.Errorf("Def(d) = %T", n.Def("d"))
+	}
+	if err := n.ReplaceDef("d", Const{true}); err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := n.Def("d").(Const); !ok || !c.V {
+		t.Errorf("after ReplaceDef: %v", n.Def("d"))
+	}
+	if err := n.ReplaceDef("nope", Const{true}); err == nil {
+		t.Error("ReplaceDef of undefined signal accepted")
+	}
+	if !n.IsInput("en") || n.IsInput("q") {
+		t.Error("IsInput wrong")
+	}
+	if !n.IsOutput("q") || n.IsOutput("en") {
+		t.Error("IsOutput wrong")
+	}
+}
+
+func TestSupportAllNodeKinds(t *testing.T) {
+	node := Or{Xs: []Node{
+		And{Xs: []Node{Var{"a"}, Not{Var{"b"}}}},
+		Xor{X: Buf{Var{"c"}}, Y: Schmitt{Var{"d"}}},
+		Xnor{X: Var{"e"}, Y: Const{true}},
+		Tristate{X: Var{"f"}, Ctrl: Var{"g"}},
+		WireOr{Xs: []Node{Var{"h"}}},
+		DelayEl{X: Var{"i"}, NS: 2},
+		FF{D: Var{"j"}, Edge: Fall, Clock: Var{"k"},
+			Async: []AsyncRule{{Value: true, Cond: Var{"l"}}}},
+	}}
+	got := Support(node)
+	want := "a b c d e f g h i j k l"
+	if strings.Join(got, " ") != want {
+		t.Errorf("Support = %v, want %v", got, want)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	n := counterNet(t)
+	if err := n.Validate(); err != nil {
+		t.Errorf("valid network rejected: %v", err)
+	}
+	bad := NewNetwork("bad")
+	bad.Outputs = []string{"o"}
+	if err := bad.AddEquation("o", Var{"ghost"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "undefined") {
+		t.Errorf("undefined signal: %v", err)
+	}
+	bad2 := NewNetwork("bad2")
+	bad2.Outputs = []string{"o"}
+	if err := bad2.Validate(); err == nil || !strings.Contains(err.Error(), "no defining equation") {
+		t.Errorf("undefined output: %v", err)
+	}
+}
+
+func TestIsSequential(t *testing.T) {
+	ff := FF{D: Var{"d"}, Edge: Rise, Clock: Var{"clk"}}
+	seq := []Node{
+		ff,
+		DelayEl{X: Var{"a"}, NS: 1},
+		Not{X: ff},
+		Buf{X: ff},
+		Schmitt{X: ff},
+		And{Xs: []Node{Var{"a"}, ff}},
+		Or{Xs: []Node{ff}},
+		Xor{X: Var{"a"}, Y: ff},
+		Xnor{X: ff, Y: Var{"a"}},
+		Tristate{X: Var{"a"}, Ctrl: ff},
+		WireOr{Xs: []Node{ff}},
+	}
+	for _, x := range seq {
+		if !IsSequential(x) {
+			t.Errorf("IsSequential(%s) = false", String(x))
+		}
+	}
+	comb := []Node{
+		Var{"a"}, Const{true},
+		And{Xs: []Node{Var{"a"}, Not{Var{"b"}}}},
+		Xor{X: Var{"a"}, Y: Var{"b"}},
+	}
+	for _, x := range comb {
+		if IsSequential(x) {
+			t.Errorf("IsSequential(%s) = true", String(x))
+		}
+	}
+}
+
+func TestStringGolden(t *testing.T) {
+	cases := []struct {
+		node Node
+		want string
+	}{
+		{Var{"a"}, "a"},
+		{Const{true}, "1"},
+		{Const{false}, "0"},
+		{Not{Var{"a"}}, "!a"},
+		{Buf{Var{"a"}}, "~b a"},
+		{Schmitt{Var{"a"}}, "~s a"},
+		{And{Xs: []Node{Var{"a"}, Var{"b"}, Not{Var{"c"}}}}, "a*b*!c"},
+		{Or{Xs: []Node{Var{"a"}, And{Xs: []Node{Var{"b"}, Var{"c"}}}}}, "a+(b*c)"},
+		{Xor{X: Var{"a"}, Y: Var{"b"}}, "a!=b"},
+		{Xnor{X: Var{"a"}, Y: Var{"b"}}, "a==b"},
+		{Tristate{X: Var{"a"}, Ctrl: Var{"en"}}, "a ~t en"},
+		{WireOr{Xs: []Node{Var{"a"}, Var{"b"}}}, "a ~w b"},
+		{DelayEl{X: Var{"a"}, NS: 2.5}, "a ~d 2.5"},
+		{FF{D: Var{"d"}, Edge: Rise, Clock: Var{"clk"}}, "(d) @(~r clk)"},
+		{
+			FF{D: Var{"d"}, Edge: LevelHigh, Clock: Var{"clk"},
+				Async: []AsyncRule{{Value: false, Cond: Var{"rst"}}, {Value: true, Cond: Var{"set"}}}},
+			"(d) @(~h clk) ~a(0/(rst),1/(set))",
+		},
+	}
+	for _, tc := range cases {
+		if got := String(tc.node); got != tc.want {
+			t.Errorf("String = %q, want %q", got, tc.want)
+		}
+	}
+	for _, e := range []EdgeKind{Rise, Fall, LevelHigh, LevelLow} {
+		if s := e.String(); !strings.HasPrefix(s, "~") {
+			t.Errorf("EdgeKind %d = %q", e, s)
+		}
+	}
+	if EdgeKind(99).String() != "?" {
+		t.Error("unknown EdgeKind")
+	}
+}
+
+func TestFormatGolden(t *testing.T) {
+	n := counterNet(t)
+	want := "NAME=cnt1;\n" +
+		"INORDER=en clk;\n" +
+		"OUTORDER=q;\n" +
+		"d=q!=en;\n" +
+		"q=(d) @(~r clk);\n"
+	if got := n.Format(); got != want {
+		t.Errorf("Format:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	n := counterNet(t)
+	c := n.Clone()
+	if err := c.ReplaceDef("d", Const{false}); err != nil {
+		t.Fatal(err)
+	}
+	c.Inputs[0] = "mutated"
+	if _, ok := n.Def("d").(Xor); !ok {
+		t.Error("ReplaceDef on clone leaked into original")
+	}
+	if n.Inputs[0] != "en" {
+		t.Error("input slice shared with clone")
+	}
+	if c.Name != n.Name || len(c.Eqns) != len(n.Eqns) {
+		t.Error("clone lost content")
+	}
+	// CloneNode covers every node kind.
+	orig := Or{Xs: []Node{
+		Not{Var{"a"}}, Buf{Var{"b"}}, Schmitt{Var{"c"}},
+		And{Xs: []Node{Var{"d"}}},
+		Xor{X: Var{"e"}, Y: Var{"f"}}, Xnor{X: Var{"g"}, Y: Var{"h"}},
+		Tristate{X: Var{"i"}, Ctrl: Var{"j"}}, WireOr{Xs: []Node{Var{"k"}}},
+		DelayEl{X: Var{"l"}, NS: 3},
+		FF{D: Var{"m"}, Edge: Fall, Clock: Var{"n"},
+			Async: []AsyncRule{{Value: true, Cond: Var{"o"}}}},
+	}}
+	if got, want := String(CloneNode(orig)), String(orig); got != want {
+		t.Errorf("CloneNode changed structure: %q vs %q", got, want)
+	}
+}
+
+func TestEvalComb(t *testing.T) {
+	env := map[string]bool{"a": true, "b": false, "c": true}
+	cases := []struct {
+		node Node
+		want bool
+	}{
+		{Var{"a"}, true},
+		{Const{false}, false},
+		{Not{Var{"a"}}, false},
+		{Buf{Var{"b"}}, false},
+		{Schmitt{Var{"a"}}, true},
+		{And{Xs: []Node{Var{"a"}, Var{"c"}}}, true},
+		{And{Xs: []Node{Var{"a"}, Var{"b"}}}, false},
+		{Or{Xs: []Node{Var{"b"}, Var{"a"}}}, true},
+		{Or{Xs: []Node{Var{"b"}, Var{"b"}}}, false},
+		{Xor{X: Var{"a"}, Y: Var{"b"}}, true},
+		{Xor{X: Var{"a"}, Y: Var{"c"}}, false},
+		{Xnor{X: Var{"a"}, Y: Var{"c"}}, true},
+		{Xnor{X: Var{"a"}, Y: Var{"b"}}, false},
+	}
+	for _, tc := range cases {
+		got, err := EvalComb(tc.node, env)
+		if err != nil {
+			t.Errorf("EvalComb(%s): %v", String(tc.node), err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("EvalComb(%s) = %v, want %v", String(tc.node), got, tc.want)
+		}
+	}
+}
+
+func TestEvalCombErrors(t *testing.T) {
+	env := map[string]bool{"a": true}
+	bad := []Node{
+		Var{"ghost"},
+		FF{D: Var{"a"}, Edge: Rise, Clock: Var{"a"}},
+		DelayEl{X: Var{"a"}, NS: 1},
+		Tristate{X: Var{"a"}, Ctrl: Var{"a"}},
+		WireOr{Xs: []Node{Var{"a"}}},
+		And{Xs: []Node{Var{"a"}, Var{"ghost"}}},
+		Or{Xs: []Node{Var{"ghost"}}},
+		Xor{X: Var{"ghost"}, Y: Var{"a"}},
+		Xor{X: Var{"a"}, Y: Var{"ghost"}},
+		Xnor{X: Var{"ghost"}, Y: Var{"a"}},
+		Not{Var{"ghost"}},
+	}
+	for _, x := range bad {
+		if _, err := EvalComb(x, env); err == nil {
+			t.Errorf("EvalComb(%s) succeeded, want error", String(x))
+		}
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	n := NewNetwork("chain")
+	n.Inputs = []string{"a"}
+	n.Outputs = []string{"z"}
+	// Define out of dependency order on purpose.
+	if err := n.AddEquation("z", Var{"y"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddEquation("y", And{Xs: []Node{Var{"x"}, Var{"a"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddEquation("x", Not{Var{"a"}}); err != nil {
+		t.Fatal(err)
+	}
+	order, err := n.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[string]int)
+	for i, e := range order {
+		pos[e.LHS] = i
+	}
+	if !(pos["x"] < pos["y"] && pos["y"] < pos["z"]) {
+		t.Errorf("order = %v", pos)
+	}
+}
+
+func TestTopoOrderCombCycle(t *testing.T) {
+	n := NewNetwork("cyc")
+	n.Outputs = []string{"p"}
+	if err := n.AddEquation("p", Var{"q"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddEquation("q", Not{Var{"p"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.TopoOrder(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("err = %v, want combinational cycle", err)
+	}
+}
+
+func TestTopoOrderFFBreaksCycle(t *testing.T) {
+	// The counter feedback loop (q -> d -> q) crosses a flip-flop, which
+	// is a state boundary, so ordering must succeed.
+	n := counterNet(t)
+	order, err := n.TopoOrder()
+	if err != nil {
+		t.Fatalf("FF cycle not cut: %v", err)
+	}
+	if len(order) != 2 {
+		t.Errorf("order = %d equations, want 2", len(order))
+	}
+}
+
+func TestRenameNode(t *testing.T) {
+	orig := Or{Xs: []Node{
+		And{Xs: []Node{Var{"a"}, Not{Var{"b"}}}},
+		FF{D: Var{"d"}, Edge: Rise, Clock: Var{"clk"},
+			Async: []AsyncRule{{Value: true, Cond: Var{"rst"}}}},
+		Tristate{X: Var{"x"}, Ctrl: Var{"en"}},
+	}}
+	got := RenameNode(orig, func(n string) string { return "p_" + n })
+	want := "(p_a*!p_b)+((p_d) @(~r p_clk) ~a(1/(p_rst)))+(p_x ~t p_en)"
+	if String(got) != want {
+		t.Errorf("RenameNode = %q, want %q", String(got), want)
+	}
+	// Original untouched.
+	if !strings.Contains(String(orig), "a*!b") {
+		t.Errorf("original mutated: %q", String(orig))
+	}
+}

@@ -1,0 +1,245 @@
+package expand
+
+import (
+	"fmt"
+	"testing"
+
+	"icdb/internal/eqn"
+	"icdb/internal/icdb"
+	"icdb/internal/iif"
+	"icdb/internal/relstore"
+)
+
+func newDB(t *testing.T) *icdb.DB {
+	t.Helper()
+	db, err := icdb.Open(relstore.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// sim is a tiny synchronous simulator over a flat network: all flip-flops
+// are treated as sharing one clock event per Tick.
+type sim struct {
+	t     *testing.T
+	net   *eqn.Network
+	order []eqn.Equation
+	state map[string]bool
+}
+
+func newSim(t *testing.T, net *eqn.Network) *sim {
+	t.Helper()
+	order, err := net.TopoOrder()
+	if err != nil {
+		t.Fatalf("TopoOrder: %v", err)
+	}
+	return &sim{t: t, net: net, order: order, state: make(map[string]bool)}
+}
+
+// settle computes every combinational signal from inputs and the current
+// flip-flop state.
+func (s *sim) settle(inputs map[string]bool) map[string]bool {
+	s.t.Helper()
+	env := make(map[string]bool, len(inputs))
+	for k, v := range inputs {
+		env[k] = v
+	}
+	for _, eq := range s.order {
+		if _, isFF := eq.RHS.(eqn.FF); isFF {
+			env[eq.LHS] = s.state[eq.LHS]
+			continue
+		}
+		v, err := eqn.EvalComb(eq.RHS, env)
+		if err != nil {
+			s.t.Fatalf("eval %s: %v", eq.LHS, err)
+		}
+		env[eq.LHS] = v
+	}
+	return env
+}
+
+// Tick applies one clock event and returns the post-edge signal values.
+func (s *sim) Tick(inputs map[string]bool) map[string]bool {
+	s.t.Helper()
+	env := s.settle(inputs)
+	next := make(map[string]bool)
+	for _, eq := range s.order {
+		ff, isFF := eq.RHS.(eqn.FF)
+		if !isFF {
+			continue
+		}
+		d, err := eqn.EvalComb(ff.D, env)
+		if err != nil {
+			s.t.Fatalf("eval D of %s: %v", eq.LHS, err)
+		}
+		for _, rule := range ff.Async {
+			cond, err := eqn.EvalComb(rule.Cond, env)
+			if err != nil {
+				s.t.Fatalf("eval async of %s: %v", eq.LHS, err)
+			}
+			if cond {
+				d = rule.Value
+				break
+			}
+		}
+		next[eq.LHS] = d
+	}
+	for k, v := range next {
+		s.state[k] = v
+	}
+	return s.settle(inputs)
+}
+
+func qValue(t *testing.T, env map[string]bool, width int) int {
+	t.Helper()
+	v := 0
+	for i := 0; i < width; i++ {
+		if env[fmt.Sprintf("Q[%d]", i)] {
+			v |= 1 << i
+		}
+	}
+	return v
+}
+
+const topCounter = `
+NAME: top;
+INORDER: D[4], load, en, clk;
+OUTORDER: Q[4];
+SUBCOMPONENT: counter;
+{
+  #counter(4, D[0], D[1], D[2], D[3], load, en, clk, Q[0], Q[1], Q[2], Q[3]);
+}
+`
+
+// TestEndToEndCounter is the acceptance path: parse an IIF design that
+// references a counter, resolve it through the database by component
+// type (which queries by function under the hood), expand to a flat
+// network, validate and order it, and check counting/loading behavior by
+// evaluating the equations.
+func TestEndToEndCounter(t *testing.T) {
+	db := newDB(t)
+	d, err := iif.Parse(topCounter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := New(db)
+	net, err := ex.Expand(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if _, err := net.TopoOrder(); err != nil {
+		t.Fatalf("TopoOrder: %v", err)
+	}
+	if len(net.Inputs) != 7 || len(net.Outputs) != 4 {
+		t.Fatalf("I/O = %v / %v", net.Inputs, net.Outputs)
+	}
+
+	// The counter resolution must have picked the best-ranked Counter
+	// implementation (cnt_up: cost 14 beats cnt_ripple: cost 16).
+	insts, err := db.Instances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 1 || insts[0].Impl != "cnt_up" || insts[0].Bindings["size"] != 4 {
+		t.Fatalf("instances = %+v, want one cnt_up size=4", insts)
+	}
+
+	// Direct EvalComb assertion on an output's next-state function:
+	// Q[0] aliases u0_Q[0], whose flip-flop D input is u0_n[0] with
+	// n[0] = (Q[0] xor en)*!load + D[0]*load.
+	if v, ok := net.Def("Q[0]").(eqn.Var); !ok || v.Name != "u0_Q[0]" {
+		t.Fatalf("Def(Q[0]) = %v", net.Def("Q[0]"))
+	}
+	ff, ok := net.Def("u0_Q[0]").(eqn.FF)
+	if !ok {
+		t.Fatalf("u0_Q[0] is not a flip-flop: %T", net.Def("u0_Q[0]"))
+	}
+	nextBit0 := net.Def("u0_n[0]")
+	if nextBit0 == nil {
+		t.Fatal("no equation for u0_n[0]")
+	}
+	if dv, ok := ff.D.(eqn.Var); !ok || dv.Name != "u0_n[0]" {
+		t.Fatalf("FF D = %v", ff.D)
+	}
+	for _, tc := range []struct {
+		q0, en, load, d0, want bool
+	}{
+		{false, true, false, false, true}, // counting: 0 -> 1
+		{true, true, false, false, false}, // counting: bit toggles
+		{true, false, false, false, true}, // hold
+		{false, false, true, true, true},  // load D
+		{true, true, true, false, false},  // load overrides count
+	} {
+		env := map[string]bool{
+			"u0_Q[0]": tc.q0, "u0_c[0]": tc.en, "u0_load": tc.load, "u0_D[0]": tc.d0,
+		}
+		got, err := eqn.EvalComb(nextBit0, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("next Q[0] with %+v = %v, want %v", tc, got, tc.want)
+		}
+	}
+
+	// Sequential behavior: count three times, then parallel-load 5, then
+	// count once more.
+	s := newSim(t, net)
+	in := func(d int, load, en bool) map[string]bool {
+		m := map[string]bool{"load": load, "en": en, "clk": false}
+		for i := 0; i < 4; i++ {
+			m[fmt.Sprintf("D[%d]", i)] = d&(1<<i) != 0
+		}
+		return m
+	}
+	for i := 1; i <= 3; i++ {
+		env := s.Tick(in(0, false, true))
+		if got := qValue(t, env, 4); got != i {
+			t.Fatalf("after %d tick(s): Q = %d, want %d", i, got, i)
+		}
+	}
+	if got := qValue(t, s.Tick(in(5, true, true)), 4); got != 5 {
+		t.Fatalf("after load: Q = %d, want 5", got)
+	}
+	if got := qValue(t, s.Tick(in(0, false, true)), 4); got != 6 {
+		t.Fatalf("after count: Q = %d, want 6", got)
+	}
+	if got := qValue(t, s.Tick(in(0, false, false)), 4); got != 6 {
+		t.Fatalf("after idle: Q = %d, want 6", got)
+	}
+}
+
+// TestInstanceReuse verifies the instance-manager path: expanding the
+// same design twice reuses the recorded instance (and the cached
+// template) instead of creating a second row.
+func TestInstanceReuse(t *testing.T) {
+	db := newDB(t)
+	d, err := iif.Parse(topCounter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := New(db)
+	if _, err := ex.Expand(d, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Expand(d, nil); err != nil {
+		t.Fatal(err)
+	}
+	insts, err := db.Instances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 1 {
+		t.Fatalf("got %d instance rows, want 1 (reused)", len(insts))
+	}
+	if insts[0].Uses != 2 {
+		t.Errorf("uses = %d, want 2", insts[0].Uses)
+	}
+	if insts[0].Design != "top" {
+		t.Errorf("design = %q, want top", insts[0].Design)
+	}
+}

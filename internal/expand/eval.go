@@ -1,0 +1,385 @@
+package expand
+
+import (
+	"errors"
+
+	"icdb/internal/eqn"
+	"icdb/internal/iif"
+)
+
+// ---- C (integer) expression evaluation ----
+
+// notCError marks "this expression is not a pure C expression" failures
+// (signal references, hardware operators, mutation in pure context).
+// Speculative folds fall through to structural signal evaluation on such
+// errors, while genuine evaluation errors (division by zero, negative
+// exponent) propagate to the user.
+type notCError struct{ err error }
+
+func (e notCError) Error() string { return e.err.Error() }
+func (e notCError) Unwrap() error { return e.err }
+
+func notC(pos iif.Pos, format string, args ...any) error {
+	return notCError{err: iif.Errf(pos, format, args...)}
+}
+
+func isNotC(err error) bool {
+	var n notCError
+	return errors.As(err, &n)
+}
+
+// lookupInt resolves a name in C context: variables shadow parameters.
+func (x *expansion) lookupInt(r *iif.Ref) (int, error) {
+	if len(r.Index) != 0 {
+		return 0, notC(r.Pos, "%q is not a C variable (indexed reference)", r.Name)
+	}
+	if v, ok := x.vars[r.Name]; ok {
+		return v, nil
+	}
+	if v, ok := x.params[r.Name]; ok {
+		return v, nil
+	}
+	return 0, notC(r.Pos, "%q is not a parameter or variable", r.Name)
+}
+
+// evalInt evaluates e with C semantics: '+' adds, '*' multiplies,
+// comparisons yield 0/1, and ++/-- mutate variables.
+func (x *expansion) evalInt(e iif.Expr) (int, error) {
+	switch v := e.(type) {
+	case *iif.IntLit:
+		return v.V, nil
+
+	case *iif.Ref:
+		return x.lookupInt(v)
+
+	case *iif.Unary:
+		switch v.Op {
+		case iif.UNeg:
+			n, err := x.evalInt(v.X)
+			return -n, err
+		case iif.UNot:
+			n, err := x.evalInt(v.X)
+			return b2i(n == 0), err
+		case iif.UPreInc, iif.UPreDec, iif.UPostInc, iif.UPostDec:
+			if x.noMutate {
+				return 0, notC(v.Pos, "%s not valid in a signal expression", v.Op)
+			}
+			r, ok := v.X.(*iif.Ref)
+			if !ok {
+				return 0, iif.Errf(v.Pos, "%s needs a variable operand", v.Op)
+			}
+			cur, err := x.lookupInt(r)
+			if err != nil {
+				return 0, err
+			}
+			delta := 1
+			if v.Op == iif.UPreDec || v.Op == iif.UPostDec {
+				delta = -1
+			}
+			if err := x.setVar(r, cur+delta); err != nil {
+				return 0, err
+			}
+			if v.Op == iif.UPostInc || v.Op == iif.UPostDec {
+				return cur, nil
+			}
+			return cur + delta, nil
+		}
+		return 0, notC(v.Pos, "operator %s not valid in a C expression", v.Op)
+
+	case *iif.Binary:
+		l, err := x.evalInt(v.X)
+		if err != nil {
+			return 0, err
+		}
+		// Short-circuit before touching the right side — but not during
+		// speculative folds, where skipping the right side would let a
+		// signal reference slip through and make the same source fold or
+		// fail depending on parameter values.
+		if !x.noMutate {
+			switch v.Op {
+			case iif.BLAnd:
+				if l == 0 {
+					return 0, nil
+				}
+			case iif.BLOr:
+				if l != 0 {
+					return 1, nil
+				}
+			}
+		}
+		r, err := x.evalInt(v.Y)
+		if err != nil {
+			return 0, err
+		}
+		switch v.Op {
+		case iif.BOr:
+			return l + r, nil
+		case iif.BAnd:
+			return l * r, nil
+		case iif.BMinus:
+			return l - r, nil
+		case iif.BDiv:
+			if r == 0 {
+				return 0, iif.Errf(v.Pos, "division by zero")
+			}
+			return l / r, nil
+		case iif.BMod:
+			if r == 0 {
+				return 0, iif.Errf(v.Pos, "modulo by zero")
+			}
+			return l % r, nil
+		case iif.BPow:
+			return intPow(l, r, v)
+		case iif.BEq:
+			return b2i(l == r), nil
+		case iif.BNeq:
+			return b2i(l != r), nil
+		case iif.BLt:
+			return b2i(l < r), nil
+		case iif.BGt:
+			return b2i(l > r), nil
+		case iif.BLeq:
+			return b2i(l <= r), nil
+		case iif.BGeq:
+			return b2i(l >= r), nil
+		case iif.BLAnd:
+			return b2i(l != 0 && r != 0), nil
+		case iif.BLOr:
+			return b2i(l != 0 || r != 0), nil
+		}
+		return 0, notC(v.Pos, "operator %s not valid in a C expression", v.Op)
+	}
+	return 0, notC(iif.ExprPos(e), "expression is not a C expression")
+}
+
+func intPow(base, exp int, at *iif.Binary) (int, error) {
+	if exp < 0 {
+		return 0, iif.Errf(at.Pos, "negative exponent %d", exp)
+	}
+	out := 1
+	for i := 0; i < exp; i++ {
+		out *= base
+	}
+	return out, nil
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ---- signal (boolean) expression evaluation ----
+
+// tryInt attempts a pure-C evaluation of e. Mutating operators (++/--)
+// are rejected in this mode so no side effect can escape a failed or
+// speculative fold. A non-nil error is a genuine evaluation failure
+// (e.g. division by zero in a pure subexpression) that must reach the
+// user; ok=false with a nil error means "not a C expression, evaluate
+// structurally".
+func (x *expansion) tryInt(e iif.Expr) (v int, ok bool, err error) {
+	v, err = x.evalIntPure(e)
+	if err == nil {
+		return v, true, nil
+	}
+	if isNotC(err) {
+		return 0, false, nil
+	}
+	return 0, false, err
+}
+
+// evalIntPure evaluates e with C semantics but rejects ++/--: used
+// wherever an integer is needed inside a signal context (indices, ~d
+// counts, ~a values), where a mutation would silently corrupt loop
+// variables.
+func (x *expansion) evalIntPure(e iif.Expr) (int, error) {
+	saved := x.noMutate
+	x.noMutate = true
+	v, err := x.evalInt(e)
+	x.noMutate = saved
+	return v, err
+}
+
+// evalBool evaluates e as a signal expression, producing an equation
+// node. Pure C subexpressions (e.g. "size > 4") constant-fold.
+func (x *expansion) evalBool(e iif.Expr) (eqn.Node, error) {
+	v, ok, err := x.tryInt(e)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		return eqn.Const{V: v != 0}, nil
+	}
+	switch v := e.(type) {
+	case *iif.Ref:
+		name, err := x.scalarName(v)
+		if err != nil {
+			return nil, err
+		}
+		return eqn.Var{Name: name}, nil
+
+	case *iif.IntLit:
+		// Unreachable (folded above); kept for safety.
+		return eqn.Const{V: v.V != 0}, nil
+
+	case *iif.Unary:
+		switch v.Op {
+		case iif.UNot, iif.UBuf, iif.USchmitt:
+			inner, err := x.evalBool(v.X)
+			if err != nil {
+				return nil, err
+			}
+			switch v.Op {
+			case iif.UNot:
+				return eqn.Not{X: inner}, nil
+			case iif.UBuf:
+				return eqn.Buf{X: inner}, nil
+			default:
+				return eqn.Schmitt{X: inner}, nil
+			}
+		case iif.URise, iif.UFall, iif.UHigh, iif.ULow:
+			return nil, iif.Errf(v.Pos, "edge operator %s is only valid in a clock specification after @", v.Op)
+		}
+		return nil, iif.Errf(v.Pos, "operator %s not valid in a signal expression", v.Op)
+
+	case *iif.Binary:
+		switch v.Op {
+		case iif.BOr, iif.BAnd, iif.BXor, iif.BXnor, iif.BTri, iif.BWireOr:
+			l, err := x.evalBool(v.X)
+			if err != nil {
+				return nil, err
+			}
+			r, err := x.evalBool(v.Y)
+			if err != nil {
+				return nil, err
+			}
+			switch v.Op {
+			case iif.BOr:
+				return orNode(l, r), nil
+			case iif.BAnd:
+				return andNode(l, r), nil
+			case iif.BXor:
+				return eqn.Xor{X: l, Y: r}, nil
+			case iif.BXnor:
+				return eqn.Xnor{X: l, Y: r}, nil
+			case iif.BTri:
+				return eqn.Tristate{X: l, Ctrl: r}, nil
+			default:
+				return wireOrNode(l, r), nil
+			}
+		case iif.BDelay:
+			inner, err := x.evalBool(v.X)
+			if err != nil {
+				return nil, err
+			}
+			ns, err := x.evalIntPure(v.Y)
+			if err != nil {
+				return nil, err
+			}
+			return eqn.DelayEl{X: inner, NS: float64(ns)}, nil
+		case iif.BAt:
+			d, err := x.evalBool(v.X)
+			if err != nil {
+				return nil, err
+			}
+			edgeExpr, ok := v.Y.(*iif.Unary)
+			if !ok {
+				return nil, iif.Errf(v.Pos, "clocked assignment needs an edge specification (~r/~f/~h/~l clock)")
+			}
+			var edge eqn.EdgeKind
+			switch edgeExpr.Op {
+			case iif.URise:
+				edge = eqn.Rise
+			case iif.UFall:
+				edge = eqn.Fall
+			case iif.UHigh:
+				edge = eqn.LevelHigh
+			case iif.ULow:
+				edge = eqn.LevelLow
+			default:
+				return nil, iif.Errf(edgeExpr.Pos, "clocked assignment needs an edge specification (~r/~f/~h/~l clock)")
+			}
+			clk, err := x.evalBool(edgeExpr.X)
+			if err != nil {
+				return nil, err
+			}
+			return eqn.FF{D: d, Edge: edge, Clock: clk}, nil
+		}
+		return nil, iif.Errf(v.Pos, "operator %s not valid in a signal expression", v.Op)
+
+	case *iif.Async:
+		inner, err := x.evalBool(v.X)
+		if err != nil {
+			return nil, err
+		}
+		ff, ok := inner.(eqn.FF)
+		if !ok {
+			return nil, iif.Errf(v.Pos, "~a applies to a clocked (@) expression")
+		}
+		for _, it := range v.Items {
+			val, err := x.evalIntPure(it.Value)
+			if err != nil {
+				return nil, err
+			}
+			if val != 0 && val != 1 {
+				return nil, iif.Errf(v.Pos, "~a value must be 0 or 1, got %d", val)
+			}
+			cond, err := x.evalBool(it.Cond)
+			if err != nil {
+				return nil, err
+			}
+			ff.Async = append(ff.Async, eqn.AsyncRule{Value: val == 1, Cond: cond})
+		}
+		return ff, nil
+	}
+	return nil, iif.Errf(iif.ExprPos(e), "expression is not a signal expression")
+}
+
+// orNode builds an n-ary OR, flattening nested ORs into one node.
+func orNode(l, r eqn.Node) eqn.Node {
+	var xs []eqn.Node
+	if lo, ok := l.(eqn.Or); ok {
+		xs = append(xs, lo.Xs...)
+	} else {
+		xs = append(xs, l)
+	}
+	if ro, ok := r.(eqn.Or); ok {
+		xs = append(xs, ro.Xs...)
+	} else {
+		xs = append(xs, r)
+	}
+	return eqn.Or{Xs: xs}
+}
+
+// andNode builds an n-ary AND, flattening nested ANDs into one node.
+func andNode(l, r eqn.Node) eqn.Node {
+	var xs []eqn.Node
+	if la, ok := l.(eqn.And); ok {
+		xs = append(xs, la.Xs...)
+	} else {
+		xs = append(xs, l)
+	}
+	if ra, ok := r.(eqn.And); ok {
+		xs = append(xs, ra.Xs...)
+	} else {
+		xs = append(xs, r)
+	}
+	return eqn.And{Xs: xs}
+}
+
+// wireOrNode builds an n-ary wired-or, flattening nested ones.
+func wireOrNode(l, r eqn.Node) eqn.Node {
+	var xs []eqn.Node
+	if lw, ok := l.(eqn.WireOr); ok {
+		xs = append(xs, lw.Xs...)
+	} else {
+		xs = append(xs, l)
+	}
+	if rw, ok := r.(eqn.WireOr); ok {
+		xs = append(xs, rw.Xs...)
+	} else {
+		xs = append(xs, r)
+	}
+	return eqn.WireOr{Xs: xs}
+}

@@ -1,0 +1,633 @@
+// Package expand turns parameterized IIF designs into flat equation
+// networks. It is the ICDB expander of §5: given a design and actual
+// parameter values it evaluates the C-like control constructs (#for,
+// #if, #c_line), flattens indexed signals to scalars ("Q[3]"), resolves
+// every subcomponent call through the component database (by
+// implementation name, component type, or function), and splices the
+// callee's expanded network into the caller under a unique instance
+// prefix. Expanded (implementation, bindings) pairs are recorded as
+// database instances and cached so repeated expansions reuse the work.
+package expand
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+
+	"icdb/internal/eqn"
+	"icdb/internal/genus"
+	"icdb/internal/icdb"
+	"icdb/internal/iif"
+)
+
+// maxLoopIters bounds a single #for loop so a bad step expression cannot
+// hang expansion.
+const maxLoopIters = 1 << 16
+
+// Expander expands IIF designs against a component database.
+//
+// An Expander memoizes parsed implementation sources, call-name
+// resolutions, and expanded (implementation, bindings) templates for its
+// lifetime. Re-registering an implementation in the database does not
+// invalidate these caches: create a fresh Expander to pick up changed
+// sources.
+type Expander struct {
+	db *icdb.DB
+	// MaxDepth bounds nested component expansion (cycles in the
+	// implementation library would otherwise recurse forever).
+	MaxDepth int
+
+	designs  map[string]*iif.Design // parsed implementation sources, by name
+	nets     map[string]*eqn.Network
+	netDeps  map[string][]instReq // template key -> transitive subcomponent requests
+	resolved map[string]icdb.Impl // #call name -> implementation
+}
+
+// instReq is one recorded instantiation request: which implementation a
+// template splices, with which bindings. Replayed on template cache
+// hits to keep the instances relation's use counts honest.
+type instReq struct {
+	impl     string
+	bindings map[string]int
+}
+
+// New creates an expander over db.
+func New(db *icdb.DB) *Expander {
+	return &Expander{
+		db:       db,
+		MaxDepth: 16,
+		designs:  make(map[string]*iif.Design),
+		nets:     make(map[string]*eqn.Network),
+		netDeps:  make(map[string][]instReq),
+		resolved: make(map[string]icdb.Impl),
+	}
+}
+
+// Expand flattens design d with the given parameter values. Every
+// declared PARAMETER must be bound; unknown names are rejected.
+func (e *Expander) Expand(d *iif.Design, params map[string]int) (*eqn.Network, error) {
+	return e.expand(d, params, d.Name, 0)
+}
+
+// ExpandImpl looks implementation name up in the database, parses its
+// IIF source, and expands it. This records a database instance exactly
+// like a subcomponent call would.
+func (e *Expander) ExpandImpl(name string, params map[string]int) (*eqn.Network, error) {
+	im, err := e.db.ImplByName(name)
+	if err != nil {
+		return nil, err
+	}
+	d, err := e.design(im)
+	if err != nil {
+		return nil, err
+	}
+	// Enforce the implementation's width metadata exactly like the
+	// #call path does.
+	if sz, ok := params["size"]; ok && (sz < im.WidthMin || sz > im.WidthMax) {
+		return nil, fmt.Errorf("expand: %s: size %d outside implementation width range [%d,%d]",
+			im.Name, sz, im.WidthMin, im.WidthMax)
+	}
+	// Share the template cache with the #call path: repeated expansions
+	// of the same (implementation, bindings) pair reuse the work. The
+	// caller gets a clone so the cached template stays pristine.
+	net, _, err := e.template(d, im, params, d.Name, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.recordInstance(d.Name, im, params); err != nil {
+		return nil, err
+	}
+	return net.Clone(), nil
+}
+
+// design returns the parsed IIF source of im, memoized.
+func (e *Expander) design(im icdb.Impl) (*iif.Design, error) {
+	if d, ok := e.designs[im.Name]; ok {
+		return d, nil
+	}
+	d, err := iif.Parse(im.Source)
+	if err != nil {
+		return nil, fmt.Errorf("expand: implementation %q: %w", im.Name, err)
+	}
+	e.designs[im.Name] = d
+	return d, nil
+}
+
+func instKey(impl string, bindings map[string]int) string {
+	return impl + "|" + icdb.BindingsKey(bindings)
+}
+
+// reservedPrefix matches the "u<N>_" instance-prefix namespace; user
+// signals may not live there or a spliced subcomponent could silently
+// capture them.
+var reservedPrefix = regexp.MustCompile(`^u[0-9]+_`)
+
+// template returns the expanded network for (im, bindings) through the
+// cache, reporting whether it was served from cache.
+func (e *Expander) template(d *iif.Design, im icdb.Impl, bindings map[string]int, design string, depth int) (net *eqn.Network, cached bool, err error) {
+	key := instKey(im.Name, bindings)
+	if net, ok := e.nets[key]; ok {
+		return net, true, nil
+	}
+	var nested []instReq
+	net, err = e.expandCollect(d, bindings, design, depth, &nested)
+	if err != nil {
+		return nil, false, err
+	}
+	e.nets[key] = net
+	e.netDeps[key] = nested
+	return net, false, nil
+}
+
+// recordInstance records the (im, bindings) instantiation plus the
+// template's nested subcomponent requests. Template expansion itself
+// never touches the instances relation (it only collects requests), so
+// recording happens exactly once per validated splice — and a failed
+// call records nothing, nested or not.
+func (e *Expander) recordInstance(design string, im icdb.Impl, bindings map[string]int) error {
+	if _, _, err := e.db.Instantiate(design, im.Name, bindings); err != nil {
+		return err
+	}
+	for _, dep := range e.netDeps[instKey(im.Name, bindings)] {
+		if _, _, err := e.db.Instantiate(design, dep.impl, dep.bindings); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Expander) expand(d *iif.Design, params map[string]int, design string, depth int) (*eqn.Network, error) {
+	return e.expandCollect(d, params, design, depth, nil)
+}
+
+// expandCollect is expand with an optional collector that receives the
+// instantiation requests made while expanding (used for template
+// cache-hit replay).
+func (e *Expander) expandCollect(d *iif.Design, params map[string]int, design string, depth int, deps *[]instReq) (*eqn.Network, error) {
+	if depth > e.MaxDepth {
+		return nil, fmt.Errorf("expand: %s: component nesting deeper than %d (recursive library?)", d.Name, e.MaxDepth)
+	}
+	x := &expansion{
+		ex:     e,
+		d:      d,
+		design: design,
+		depth:  depth,
+		deps:   deps,
+		net:    eqn.NewNetwork(d.Name),
+		params: make(map[string]int, len(d.Params)),
+		vars:   make(map[string]int, len(d.Vars)),
+		dims:   make(map[string][]int),
+	}
+	for _, p := range d.Params {
+		v, ok := params[p]
+		if !ok {
+			return nil, fmt.Errorf("expand: %s: parameter %q is unbound", d.Name, p)
+		}
+		x.params[p] = v
+	}
+	for p := range params {
+		if _, ok := x.params[p]; !ok {
+			return nil, fmt.Errorf("expand: %s: no such parameter %q (have %v)", d.Name, p, d.Params)
+		}
+	}
+	for _, v := range d.Vars {
+		if _, clash := x.params[v]; clash {
+			return nil, fmt.Errorf("expand: %s: %q is both PARAMETER and VARIABLE", d.Name, v)
+		}
+		x.vars[v] = 0
+	}
+	var err error
+	if x.net.Inputs, err = x.flatten(d.Inputs); err != nil {
+		return nil, err
+	}
+	if x.net.Outputs, err = x.flatten(d.Outputs); err != nil {
+		return nil, err
+	}
+	if x.net.Internals, err = x.flatten(d.Internal); err != nil {
+		return nil, err
+	}
+	if d.Body == nil {
+		return nil, fmt.Errorf("expand: %s: design has no body", d.Name)
+	}
+	if err := x.exec(d.Body); err != nil {
+		return nil, err
+	}
+	return x.net, nil
+}
+
+// expansion is the mutable state of one design expansion.
+type expansion struct {
+	ex     *Expander
+	d      *iif.Design
+	design string // top-level design name, for instance records
+	depth  int
+	net    *eqn.Network
+	params map[string]int
+	vars   map[string]int
+	dims   map[string][]int // declared signal name -> dimensions (empty = scalar)
+	nInst  int
+	// deps, when non-nil, collects the instantiation requests made by
+	// this expansion (it is a template being cached).
+	deps *[]instReq
+	// noMutate rejects ++/-- during speculative constant folding
+	// (tryInt), so signal-expression folds cannot change variables.
+	noMutate bool
+}
+
+// flatten evaluates declaration dimensions and expands each declared
+// signal into its scalar names ("D[size]" with size=2 becomes D[0], D[1]).
+func (x *expansion) flatten(decls []iif.SignalDecl) ([]string, error) {
+	var names []string
+	for _, sd := range decls {
+		if reservedPrefix.MatchString(sd.Name) {
+			return nil, iif.Errf(sd.Pos, "signal %q uses the reserved instance-prefix namespace u<N>_", sd.Name)
+		}
+		if _, isVar := x.vars[sd.Name]; isVar {
+			return nil, iif.Errf(sd.Pos, "signal %q collides with a VARIABLE", sd.Name)
+		}
+		if _, isParam := x.params[sd.Name]; isParam {
+			return nil, iif.Errf(sd.Pos, "signal %q collides with a PARAMETER", sd.Name)
+		}
+		if _, dup := x.dims[sd.Name]; dup {
+			return nil, iif.Errf(sd.Pos, "signal %q declared twice", sd.Name)
+		}
+		dims := make([]int, len(sd.Dims))
+		for i, de := range sd.Dims {
+			// Dimensions are pure expressions over parameters; ++/--
+			// here would silently corrupt variables before the body runs.
+			v, err := x.evalIntPure(de)
+			if err != nil {
+				return nil, err
+			}
+			if v < 1 {
+				return nil, iif.Errf(sd.Pos, "signal %s: dimension %d evaluates to %d", sd.Name, i, v)
+			}
+			dims[i] = v
+		}
+		x.dims[sd.Name] = dims
+		names = append(names, scalarNames(sd.Name, dims)...)
+	}
+	return names, nil
+}
+
+func scalarNames(base string, dims []int) []string {
+	if len(dims) == 0 {
+		return []string{base}
+	}
+	var out []string
+	for i := 0; i < dims[0]; i++ {
+		out = append(out, scalarNames(fmt.Sprintf("%s[%d]", base, i), dims[1:])...)
+	}
+	return out
+}
+
+// scalarName resolves a signal reference to its flat scalar name,
+// checking declared dimensions when known.
+func (x *expansion) scalarName(r *iif.Ref) (string, error) {
+	if reservedPrefix.MatchString(r.Name) {
+		return "", iif.Errf(r.Pos, "signal %q uses the reserved instance-prefix namespace u<N>_", r.Name)
+	}
+	if _, isVar := x.vars[r.Name]; isVar {
+		return "", iif.Errf(r.Pos, "%q is a C variable, not a signal", r.Name)
+	}
+	if _, isParam := x.params[r.Name]; isParam {
+		return "", iif.Errf(r.Pos, "%q is a parameter, not a signal", r.Name)
+	}
+	idx := make([]int, len(r.Index))
+	for i, ie := range r.Index {
+		// Indices are pure: Q[i++] mutating the loop variable would be
+		// a silent corruption, so ++/-- is rejected here.
+		v, err := x.evalIntPure(ie)
+		if err != nil {
+			return "", err
+		}
+		idx[i] = v
+	}
+	if dims, declared := x.dims[r.Name]; declared {
+		if len(idx) != len(dims) {
+			return "", iif.Errf(r.Pos, "signal %q has %d dimension(s), referenced with %d index(es)", r.Name, len(dims), len(idx))
+		}
+		for i, v := range idx {
+			if v < 0 || v >= dims[i] {
+				return "", iif.Errf(r.Pos, "signal %q index %d out of range [0,%d)", r.Name, v, dims[i])
+			}
+		}
+	}
+	name := r.Name
+	for _, v := range idx {
+		name = fmt.Sprintf("%s[%d]", name, v)
+	}
+	return name, nil
+}
+
+// ---- statements ----
+
+// Loop-control sentinels.
+type ctrlError int
+
+const (
+	ctrlBreak ctrlError = iota
+	ctrlContinue
+)
+
+func (c ctrlError) Error() string {
+	if c == ctrlBreak {
+		return "#break outside a loop"
+	}
+	return "#continue outside a loop"
+}
+
+func (x *expansion) exec(s iif.Stmt) error {
+	switch st := s.(type) {
+	case *iif.Block:
+		for _, inner := range st.Stmts {
+			if err := x.exec(inner); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *iif.Assign:
+		return x.assign(st)
+
+	case *iif.If:
+		v, err := x.evalInt(st.Cond)
+		if err != nil {
+			return err
+		}
+		if v != 0 {
+			return x.exec(st.Then)
+		}
+		if st.Else != nil {
+			return x.exec(st.Else)
+		}
+		return nil
+
+	case *iif.For:
+		return x.execFor(st)
+
+	case *iif.Break:
+		return ctrlBreak
+
+	case *iif.Continue:
+		return ctrlContinue
+
+	case *iif.Call:
+		return x.call(st)
+	}
+	return fmt.Errorf("expand: unhandled statement %T", s)
+}
+
+func (x *expansion) execFor(st *iif.For) error {
+	if st.Init != nil {
+		if err := x.execHeaderExpr(st.Init); err != nil {
+			return err
+		}
+	}
+	for iters := 0; ; iters++ {
+		if iters >= maxLoopIters {
+			return iif.Errf(st.Pos, "#for exceeded %d iterations", maxLoopIters)
+		}
+		if st.Cond != nil {
+			v, err := x.evalInt(st.Cond)
+			if err != nil {
+				return err
+			}
+			if v == 0 {
+				return nil
+			}
+		}
+		err := x.exec(st.Body)
+		switch err {
+		case nil, ctrlContinue:
+		case ctrlBreak:
+			return nil
+		default:
+			return err
+		}
+		if st.Step != nil {
+			if err := x.execHeaderExpr(st.Step); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// execHeaderExpr runs a #for init/step expression: either an assignment
+// ("i = 0") or a plain C expression evaluated for its side effects
+// ("i++").
+func (x *expansion) execHeaderExpr(e iif.Expr) error {
+	if lhs, rhs, ok := iif.ForAssign(e); ok {
+		v, err := x.evalInt(rhs)
+		if err != nil {
+			return err
+		}
+		return x.setVar(lhs, v)
+	}
+	_, err := x.evalInt(e)
+	return err
+}
+
+func (x *expansion) setVar(r *iif.Ref, v int) error {
+	if len(r.Index) != 0 {
+		return iif.Errf(r.Pos, "C variable %q cannot be indexed", r.Name)
+	}
+	if _, ok := x.vars[r.Name]; !ok {
+		if _, isParam := x.params[r.Name]; isParam {
+			return iif.Errf(r.Pos, "cannot assign to parameter %q", r.Name)
+		}
+		return iif.Errf(r.Pos, "assignment to undeclared variable %q (declare it with VARIABLE)", r.Name)
+	}
+	x.vars[r.Name] = v
+	return nil
+}
+
+func (x *expansion) assign(a *iif.Assign) error {
+	if a.CLine {
+		if a.Op != iif.OpAssign {
+			return iif.Errf(a.Pos, "#c_line supports only plain assignment")
+		}
+		v, err := x.evalInt(a.RHS)
+		if err != nil {
+			return err
+		}
+		return x.setVar(a.LHS, v)
+	}
+	lhs, err := x.scalarName(a.LHS)
+	if err != nil {
+		return err
+	}
+	rhs, err := x.evalBool(a.RHS)
+	if err != nil {
+		return err
+	}
+	if a.Op == iif.OpAssign {
+		if err := x.net.AddEquation(lhs, rhs); err != nil {
+			return iif.Errf(a.Pos, "%v", err)
+		}
+		return nil
+	}
+	// Aggregate assignment: fold into any existing definition.
+	prev := x.net.Def(lhs)
+	if prev == nil {
+		if err := x.net.AddEquation(lhs, rhs); err != nil {
+			return iif.Errf(a.Pos, "%v", err)
+		}
+		return nil
+	}
+	var combined eqn.Node
+	switch a.Op {
+	case iif.OpAggOr:
+		combined = orNode(prev, rhs)
+	case iif.OpAggAnd:
+		combined = andNode(prev, rhs)
+	case iif.OpAggXor:
+		combined = eqn.Xor{X: prev, Y: rhs}
+	case iif.OpAggXnor:
+		combined = eqn.Xnor{X: prev, Y: rhs}
+	default:
+		return iif.Errf(a.Pos, "unsupported assignment operator %s", a.Op)
+	}
+	return x.net.ReplaceDef(lhs, combined)
+}
+
+// ---- subcomponent calls ----
+
+func (x *expansion) call(c *iif.Call) error {
+	im, err := x.resolve(c)
+	if err != nil {
+		return err
+	}
+	d, err := x.ex.design(im)
+	if err != nil {
+		return err
+	}
+	np := len(d.Params)
+	if len(c.Args) < np {
+		return iif.Errf(c.Pos, "#%s: needs %d leading parameter argument(s) %v", c.Name, np, d.Params)
+	}
+	bindings := make(map[string]int, np)
+	for i, p := range d.Params {
+		v, err := x.evalInt(c.Args[i])
+		if err != nil {
+			return iif.Errf(c.Pos, "#%s: parameter %q: %v", c.Name, p, err)
+		}
+		bindings[p] = v
+	}
+	if sz, ok := bindings["size"]; ok && (sz < im.WidthMin || sz > im.WidthMax) {
+		return iif.Errf(c.Pos, "#%s: size %d outside implementation %q width range [%d,%d]",
+			c.Name, sz, im.Name, im.WidthMin, im.WidthMax)
+	}
+	tmpl, _, err := x.ex.template(d, im, bindings, x.design, x.depth+1)
+	if err != nil {
+		return err
+	}
+	need := np + len(tmpl.Inputs) + len(tmpl.Outputs)
+	if len(c.Args) != need {
+		return iif.Errf(c.Pos, "#%s: got %d argument(s), want %d (%d parameter(s) %v, inputs %v, outputs %v)",
+			c.Name, len(c.Args), need, np, d.Params, tmpl.Inputs, tmpl.Outputs)
+	}
+	// Evaluate every port connection before touching the network or the
+	// instances relation, so a failed call leaves no trace.
+	inNodes := make([]eqn.Node, len(tmpl.Inputs))
+	for i, in := range tmpl.Inputs {
+		node, err := x.evalBool(c.Args[np+i])
+		if err != nil {
+			return iif.Errf(c.Pos, "#%s: input %s: %v", c.Name, in, err)
+		}
+		inNodes[i] = node
+	}
+	outNames := make([]string, len(tmpl.Outputs))
+	seenOut := make(map[string]bool, len(tmpl.Outputs))
+	for j, out := range tmpl.Outputs {
+		arg := c.Args[np+len(tmpl.Inputs)+j]
+		ref, isRef := arg.(*iif.Ref)
+		if !isRef {
+			return iif.Errf(c.Pos, "#%s: output %s must connect to a signal, got %s", c.Name, out, iif.ExprString(arg))
+		}
+		lhs, err := x.scalarName(ref)
+		if err != nil {
+			return err
+		}
+		if x.net.Def(lhs) != nil || x.net.IsInput(lhs) || seenOut[lhs] {
+			return iif.Errf(ref.Pos, "#%s: output signal %q already driven", c.Name, lhs)
+		}
+		seenOut[lhs] = true
+		outNames[j] = lhs
+	}
+	if x.deps != nil {
+		// Inside a template expansion: only collect the request (plus
+		// this call's own transitive subcomponents); the consumer that
+		// eventually splices the template records them.
+		*x.deps = append(*x.deps, instReq{impl: im.Name, bindings: bindings})
+		*x.deps = append(*x.deps, x.ex.netDeps[instKey(im.Name, bindings)]...)
+	} else if err := x.ex.recordInstance(x.design, im, bindings); err != nil {
+		return iif.Errf(c.Pos, "#%s: %v", c.Name, err)
+	}
+	prefix := fmt.Sprintf("u%d_", x.nInst)
+	x.nInst++
+	// Drive the callee's (prefixed) inputs from the caller argument
+	// expressions.
+	for i, in := range tmpl.Inputs {
+		if err := x.net.AddEquation(prefix+in, inNodes[i]); err != nil {
+			return iif.Errf(c.Pos, "#%s: %v", c.Name, err)
+		}
+	}
+	// Splice the callee equations, renaming every signal under the
+	// instance prefix.
+	for _, eq := range tmpl.Eqns {
+		if err := x.net.AddEquation(prefix+eq.LHS, eqn.RenameNode(eq.RHS, func(name string) string { return prefix + name })); err != nil {
+			return iif.Errf(c.Pos, "#%s: %v", c.Name, err)
+		}
+	}
+	// Alias the callee's outputs onto the caller's output signals.
+	for j, out := range tmpl.Outputs {
+		if err := x.net.AddEquation(outNames[j], eqn.Var{Name: prefix + out}); err != nil {
+			return iif.Errf(c.Pos, "#%s: %v", c.Name, err)
+		}
+	}
+	for _, group := range [][]string{tmpl.Inputs, tmpl.Outputs, tmpl.Internals} {
+		for _, n := range group {
+			x.net.Internals = append(x.net.Internals, prefix+n)
+		}
+	}
+	return nil
+}
+
+// resolve maps a #CALL name to a database implementation. Resolution
+// tries, in order: an implementation of that exact (or lower-cased)
+// name, the best-ranked implementation of a matching component type, and
+// the best-ranked implementation answering a query by function — the
+// paper's query-by-function path from inside the expander.
+func (x *expansion) resolve(c *iif.Call) (icdb.Impl, error) {
+	if im, ok := x.ex.resolved[c.Name]; ok {
+		return im, nil
+	}
+	im, err := x.resolveUncached(c)
+	if err != nil {
+		return icdb.Impl{}, err
+	}
+	x.ex.resolved[c.Name] = im
+	return im, nil
+}
+
+func (x *expansion) resolveUncached(c *iif.Call) (icdb.Impl, error) {
+	db := x.ex.db
+	if im, err := db.ImplByName(c.Name); err == nil {
+		return im, nil
+	}
+	if im, err := db.ImplByName(strings.ToLower(c.Name)); err == nil {
+		return im, nil
+	}
+	if ct, ok := genus.NormalizeComponentType(c.Name); ok {
+		if cands, err := db.QueryByComponent(ct); err == nil && len(cands) > 0 {
+			return cands[0].Impl, nil
+		}
+	}
+	if fn, err := genus.NormalizeFunction(c.Name); err == nil {
+		if cands, err := db.QueryByFunction(fn); err == nil && len(cands) > 0 {
+			return cands[0].Impl, nil
+		}
+	}
+	return icdb.Impl{}, iif.Errf(c.Pos, "#%s: resolves to no implementation, component type, or function in the database", c.Name)
+}

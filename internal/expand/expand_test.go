@@ -1,0 +1,604 @@
+package expand
+
+import (
+	"strings"
+	"testing"
+
+	"icdb/internal/eqn"
+	"icdb/internal/genus"
+	"icdb/internal/icdb"
+	"icdb/internal/iif"
+)
+
+func mustParse(t *testing.T, src string) *iif.Design {
+	t.Helper()
+	d, err := iif.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func expandSrc(t *testing.T, src string, params map[string]int) (*eqn.Network, error) {
+	t.Helper()
+	return New(newDB(t)).Expand(mustParse(t, src), params)
+}
+
+func TestExpandImplRegister(t *testing.T) {
+	db := newDB(t)
+	net, err := New(db).ExpandImpl("reg_d", map[string]int{"size": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wantIn := []string{"D[0]", "D[1]", "load", "clk"}
+	if strings.Join(net.Inputs, " ") != strings.Join(wantIn, " ") {
+		t.Fatalf("inputs = %v, want %v", net.Inputs, wantIn)
+	}
+	ff, ok := net.Def("Q[0]").(eqn.FF)
+	if !ok {
+		t.Fatalf("Q[0] def = %T, want FF", net.Def("Q[0]"))
+	}
+	if ff.Edge != eqn.Rise {
+		t.Errorf("edge = %v, want ~r", ff.Edge)
+	}
+	// D input: D[0]*load + Q[0]*!load.
+	for _, tc := range []struct {
+		d, load, q, want bool
+	}{
+		{true, true, false, true},
+		{false, true, true, false},
+		{true, false, false, false},
+		{false, false, true, true},
+	} {
+		env := map[string]bool{"D[0]": tc.d, "load": tc.load, "Q[0]": tc.q}
+		got, err := eqn.EvalComb(ff.D, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("reg D with %+v = %v, want %v", tc, got, tc.want)
+		}
+	}
+	// Instance recorded for the direct expansion too.
+	insts, err := db.Instances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 1 || insts[0].Impl != "reg_d" {
+		t.Fatalf("instances = %+v", insts)
+	}
+}
+
+func TestExpandControlConstructs(t *testing.T) {
+	const src = `
+NAME: ctrl;
+PARAMETER: n;
+VARIABLE: i, acc;
+INORDER: A[n];
+OUTORDER: O, P, R;
+{
+  /* aggregate OR over all bits, via #for with break/continue */
+  #for(i = 0; i < n; i++) {
+    #if (i == 2) #continue;
+    #if (i >= 3) #break;
+    O += A[i];
+  }
+  #c_line acc = 2 ** 3 + -1;
+  #if (acc == 7 && n > 1) P = A[0] * A[1]; #else P = 0;
+  R = A[n-1] (+) 1;
+}
+`
+	net, err := expandSrc(t, src, map[string]int{"n": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// O aggregates bits 0 and 1 only (2 skipped by continue, 3 by break).
+	or, ok := net.Def("O").(eqn.Or)
+	if !ok || len(or.Xs) != 2 {
+		t.Fatalf("O = %v, want 2-way OR", eqn.String(net.Def("O")))
+	}
+	if got := eqn.String(net.Def("P")); got != "A[0]*A[1]" {
+		t.Errorf("P = %q", got)
+	}
+	// A[n-1] (+) 1 == not A[3].
+	if got := eqn.String(net.Def("R")); got != "A[3]!=1" {
+		t.Errorf("R = %q", got)
+	}
+}
+
+func TestExpandHardwareOps(t *testing.T) {
+	const src = `
+NAME: hw;
+INORDER: a, b, c, rst, clk;
+OUTORDER: t, w, dly, bs, ff;
+{
+  t = a ~t b;
+  w = a ~w b ~w c;
+  dly = a ~d 5;
+  bs = ~b (~s a);
+  ff = (a (.) b) @ (~f clk) ~a (0/rst, 1/b*c);
+}
+`
+	net, err := expandSrc(t, src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := net.Def("t").(eqn.Tristate); !ok {
+		t.Errorf("t = %T", net.Def("t"))
+	}
+	if w, ok := net.Def("w").(eqn.WireOr); !ok || len(w.Xs) != 3 {
+		t.Errorf("w = %v", net.Def("w"))
+	}
+	if d, ok := net.Def("dly").(eqn.DelayEl); !ok || d.NS != 5 {
+		t.Errorf("dly = %v", net.Def("dly"))
+	}
+	if _, ok := net.Def("bs").(eqn.Buf); !ok {
+		t.Errorf("bs = %T", net.Def("bs"))
+	}
+	ff, ok := net.Def("ff").(eqn.FF)
+	if !ok || ff.Edge != eqn.Fall || len(ff.Async) != 2 {
+		t.Fatalf("ff = %v", net.Def("ff"))
+	}
+	if ff.Async[0].Value || !ff.Async[1].Value {
+		t.Errorf("async rule values = %v,%v", ff.Async[0].Value, ff.Async[1].Value)
+	}
+}
+
+func TestExpandErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		src    string
+		params map[string]int
+		want   string
+	}{
+		{
+			name: "unbound parameter",
+			src:  "NAME: e; PARAMETER: size; INORDER: a; OUTORDER: o; { o = a; }",
+			want: "unbound",
+		},
+		{
+			name:   "unknown parameter",
+			src:    "NAME: e; INORDER: a; OUTORDER: o; { o = a; }",
+			params: map[string]int{"size": 4},
+			want:   "no such parameter",
+		},
+		{
+			name: "index out of range",
+			src:  "NAME: e; INORDER: a[2]; OUTORDER: o; { o = a[2]; }",
+			want: "out of range",
+		},
+		{
+			name: "wrong index count",
+			src:  "NAME: e; INORDER: a[2]; OUTORDER: o; { o = a; }",
+			want: "referenced with 0",
+		},
+		{
+			name: "duplicate definition",
+			src:  "NAME: e; INORDER: a; OUTORDER: o; { o = a; o = !a; }",
+			want: "defined twice",
+		},
+		{
+			name: "assign to input",
+			src:  "NAME: e; INORDER: a; OUTORDER: o; { a = 1; o = a; }",
+			want: "cannot be assigned",
+		},
+		{
+			name: "undeclared C variable",
+			src:  "NAME: e; INORDER: a; OUTORDER: o; { #c_line i = 1; o = a; }",
+			want: "undeclared variable",
+		},
+		{
+			name:   "assign to parameter",
+			src:    "NAME: e; PARAMETER: p; INORDER: a; OUTORDER: o; { #c_line p = 1; o = a; }",
+			params: map[string]int{"p": 1},
+			want:   "cannot assign to parameter",
+		},
+		{
+			name: "edge op outside clock",
+			src:  "NAME: e; INORDER: a; OUTORDER: o; { o = ~r a; }",
+			want: "clock specification",
+		},
+		{
+			name: "missing edge in clock",
+			src:  "NAME: e; INORDER: a, clk; OUTORDER: o; { o = a @ clk; }",
+			want: "edge specification",
+		},
+		{
+			name: "async on comb",
+			src:  "NAME: e; INORDER: a, r; OUTORDER: o; { o = a ~a (0/r); }",
+			want: "~a applies",
+		},
+		{
+			name: "division by zero",
+			src:  "NAME: e; VARIABLE: i; INORDER: a; OUTORDER: o; { #c_line i = 4/0; o = a; }",
+			want: "division by zero",
+		},
+		{
+			name: "signal/variable collision",
+			src:  "NAME: e; VARIABLE: a; INORDER: a; OUTORDER: o; { o = 1; }",
+			want: "collides",
+		},
+		{
+			name: "mutating declaration dimension",
+			src:  "NAME: e; VARIABLE: i; INORDER: a[++i]; OUTORDER: o; { o = 1; }",
+			want: "not valid in a signal expression",
+		},
+		{
+			name: "reserved prefix declaration",
+			src:  "NAME: e; INORDER: a; OUTORDER: o; PIIFVARIABLE: u0_x; { o = a; }",
+			want: "reserved instance-prefix",
+		},
+		{
+			name: "reserved prefix reference",
+			src:  "NAME: e; INORDER: a; OUTORDER: o; { u7_t = a; o = a; }",
+			want: "reserved instance-prefix",
+		},
+		{
+			name: "unresolvable call",
+			src:  "NAME: e; INORDER: a; OUTORDER: o; { #frobnicator(a, o); o = a; }",
+			want: "resolves to no implementation",
+		},
+		{
+			name: "call arg count",
+			src:  "NAME: e; INORDER: a, b; OUTORDER: o; { #logic_and(2, a, b, o); }",
+			want: "argument",
+		},
+		{
+			name: "call output not a signal",
+			src:  "NAME: e; INORDER: a, b; OUTORDER: o; { #logic_and(1, a, b, !o); o = a; }",
+			want: "must connect to a signal",
+		},
+		{
+			name: "call width out of range",
+			src:  "NAME: e; INORDER: a, b; OUTORDER: o; { #logic_and(99, a, b, o); }",
+			want: "width range",
+		},
+		{
+			name: "infinite for",
+			src:  "NAME: e; VARIABLE: i; INORDER: a; OUTORDER: o; { #for(i = 0; 1; i) #c_line i = 0; o = a; }",
+			want: "iterations",
+		},
+		{
+			name:   "bad dimension",
+			src:    "NAME: e; PARAMETER: n; INORDER: a[n]; OUTORDER: o; { o = 1; }",
+			params: map[string]int{"n": 0},
+			want:   "dimension",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			params := tc.params
+			_, err := expandSrc(t, tc.src, params)
+			if err == nil {
+				t.Fatalf("expand succeeded, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestExpandImplCached: repeated ExpandImpl calls share the template
+// cache with the #call path, and each caller gets an independent clone.
+func TestExpandImplCached(t *testing.T) {
+	db := newDB(t)
+	ex := New(db)
+	n1, err := ex.ExpandImpl("reg_d", map[string]int{"size": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := ex.ExpandImpl("reg_d", map[string]int{"size": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n1.ReplaceDef("Q[0]", eqn.Const{V: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, mutated := n2.Def("Q[0]").(eqn.Const); mutated {
+		t.Error("cached template leaked between ExpandImpl callers")
+	}
+	insts, err := db.Instances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 1 || insts[0].Uses != 2 {
+		t.Fatalf("instances = %+v, want one row used 2x", insts)
+	}
+}
+
+// TestFailedCallRecordsNoInstance: a call that errors after resolution
+// (here: wrong argument count) must not leave a row in the instances
+// relation, or reuse accounting would lie.
+func TestFailedCallRecordsNoInstance(t *testing.T) {
+	db := newDB(t)
+	_, err := New(db).Expand(mustParse(t,
+		"NAME: e; INORDER: a, b; OUTORDER: o; { #logic_and(2, a, b, o); }"), nil)
+	if err == nil {
+		t.Fatal("bad call expanded")
+	}
+	insts, err := db.Instances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 0 {
+		t.Fatalf("failed call recorded instances: %+v", insts)
+	}
+}
+
+// TestFoldRejectsMutation: ++/-- must not leak variable mutations out of
+// any signal-context evaluation — folds, indices, ~d counts, ~a values.
+func TestFoldRejectsMutation(t *testing.T) {
+	for _, src := range []string{
+		"NAME: e; VARIABLE: i; INORDER: a; OUTORDER: o; { o = i++; }",
+		"NAME: e; VARIABLE: i; INORDER: a[2]; OUTORDER: o; { o = a[i++]; }",
+		"NAME: e; VARIABLE: i; INORDER: a; OUTORDER: o; { o = a ~d i++; }",
+		"NAME: e; VARIABLE: i; INORDER: a, r, clk; OUTORDER: o; { o = a @ (~r clk) ~a (i++/r); }",
+	} {
+		_, err := expandSrc(t, src, nil)
+		if err == nil || !strings.Contains(err.Error(), "not valid in a signal expression") {
+			t.Fatalf("%s: err = %v, want mutation rejection", src, err)
+		}
+	}
+}
+
+// TestFailedCallWithBadPortRecordsNoInstance: a call whose argument
+// count is right but whose port expressions are invalid must also leave
+// the instances relation untouched.
+func TestFailedCallWithBadPortRecordsNoInstance(t *testing.T) {
+	db := newDB(t)
+	for _, src := range []string{
+		// input references an out-of-range bit
+		"NAME: e; INORDER: a[1], b; OUTORDER: o; { #logic_and(1, a[5], b, o); }",
+		// output is an expression, not a signal
+		"NAME: e; INORDER: a, b; OUTORDER: o; { #logic_and(1, a, b, !o); o = a; }",
+		// output signal already driven
+		"NAME: e; INORDER: a, b; OUTORDER: o; { o = a; #logic_and(1, a, b, o); }",
+		// two outputs of one call wired to the same signal
+		"NAME: e; INORDER: a0, a1, b0, b1; OUTORDER: x; { #logic_and(2, a0, a1, b0, b1, x, x); }",
+	} {
+		_, err := New(db).Expand(mustParse(t, src), nil)
+		if err == nil {
+			t.Fatalf("%s: expanded", src)
+		}
+		insts, ierr := db.Instances()
+		if ierr != nil {
+			t.Fatal(ierr)
+		}
+		if len(insts) != 0 {
+			t.Fatalf("%s: failed call recorded instances %+v", src, insts)
+		}
+	}
+}
+
+// TestNestedInstanceAccounting: when a template containing a
+// subcomponent is served from the cache, the nested implementation's
+// use count must still reflect every structural copy spliced.
+func TestNestedInstanceAccounting(t *testing.T) {
+	db := newDB(t)
+	err := db.RegisterImpl(icdb.Impl{
+		Name:      "wrap_reg",
+		Component: "Register",
+		Functions: reg2Functions(),
+		WidthMin:  2, WidthMax: 2, Stages: 1,
+		Area: 13, Delay: 2,
+		Source: "NAME: wrap_reg; INORDER: D[2], load, clk; OUTORDER: Q[2];\n" +
+			"{ #reg_d(2, D[0], D[1], load, clk, Q[0], Q[1]); }",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const src = `
+NAME: t; INORDER: D[2], load, clk; OUTORDER: X[2], Y[2];
+{
+  #wrap_reg(D[0], D[1], load, clk, X[0], X[1]);
+  #wrap_reg(D[0], D[1], load, clk, Y[0], Y[1]);
+}
+`
+	net, err := New(db).Expand(mustParse(t, src), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	uses := map[string]int{}
+	insts, err := db.Instances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range insts {
+		uses[in.Impl] = in.Uses
+	}
+	if uses["wrap_reg"] != 2 || uses["reg_d"] != 2 {
+		t.Fatalf("uses = %v, want wrap_reg:2 reg_d:2", uses)
+	}
+
+	// A failed call to the wrapper (missing one port argument) must not
+	// record anything — not the wrapper, and not its nested register.
+	before := len(insts)
+	_, err = New(db).Expand(mustParse(t,
+		"NAME: t2; INORDER: D[2], load, clk; OUTORDER: X[2];\n"+
+			"{ #wrap_reg(D[0], D[1], load, clk, X[0]); }"), nil)
+	if err == nil {
+		t.Fatal("short call expanded")
+	}
+	insts, err = db.Instances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != before {
+		t.Fatalf("failed wrapper call changed instances: %+v", insts)
+	}
+	for _, in := range insts {
+		if in.Uses != uses[in.Impl] {
+			t.Errorf("failed call bumped %s uses to %d", in.Impl, in.Uses)
+		}
+	}
+}
+
+func reg2Functions() []genus.Function {
+	return []genus.Function{genus.FuncSTORAGE}
+}
+
+// TestSignalExprValidityIsValueIndependent: a C-only operator over a
+// signal must be rejected regardless of the parameter values involved
+// (short-circuiting must not hide the signal reference).
+func TestSignalExprValidityIsValueIndependent(t *testing.T) {
+	const src = "NAME: e; PARAMETER: size; INORDER: en; OUTORDER: o; { o = size || en; }"
+	for _, sz := range []int{0, 4} {
+		_, err := expandSrc(t, src, map[string]int{"size": sz})
+		if err == nil || !strings.Contains(err.Error(), "not valid in a signal expression") {
+			t.Fatalf("size=%d: err = %v, want operator rejection", sz, err)
+		}
+	}
+	// Pure-C folds (no signal references) still work.
+	net, err := expandSrc(t,
+		"NAME: e; PARAMETER: size; INORDER: a; OUTORDER: o; { o = a * (size > 2); }",
+		map[string]int{"size": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eqn.String(net.Def("o")); got != "a*1" {
+		t.Errorf("o = %q", got)
+	}
+	// A genuine arithmetic error inside a pure subexpression surfaces as
+	// itself, not as a misleading "operator not valid" message.
+	_, err = expandSrc(t,
+		"NAME: e; PARAMETER: size; INORDER: en; OUTORDER: o; { o = en + 4/(size-1); }",
+		map[string]int{"size": 1})
+	if err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Fatalf("err = %v, want division by zero", err)
+	}
+}
+
+// TestExpandImplWidthRange: the direct API path enforces the same width
+// metadata as the #call path.
+func TestExpandImplWidthRange(t *testing.T) {
+	_, err := New(newDB(t)).ExpandImpl("reg_d", map[string]int{"size": 128})
+	if err == nil || !strings.Contains(err.Error(), "width range") {
+		t.Fatalf("err = %v, want width range rejection", err)
+	}
+}
+
+// TestExpandResolveByFunction exercises the query-by-function resolution
+// path: "#and(...)" names a GENUS function, not an implementation or
+// component type.
+func TestExpandResolveByFunction(t *testing.T) {
+	const src = `
+NAME: byfn;
+INORDER: a, b;
+OUTORDER: o;
+{
+  #AND(1, a, b, o);
+}
+`
+	db := newDB(t)
+	net, err := New(db).Expand(mustParse(t, src), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	insts, err := db.Instances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 1 || insts[0].Impl != "logic_and" {
+		t.Fatalf("instances = %+v, want logic_and", insts)
+	}
+	env := map[string]bool{"a": true, "b": true}
+	order, err := net.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eq := range order {
+		v, err := eqn.EvalComb(eq.RHS, env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env[eq.LHS] = v
+	}
+	if !env["o"] {
+		t.Error("1 AND 1 = 0")
+	}
+}
+
+// TestExpandNestedComponents checks recursive expansion: a design whose
+// subcomponent is itself expressed in terms of another database lookup
+// would nest; here we verify the depth guard instead with a
+// self-referential library entry.
+func TestExpandDepthGuard(t *testing.T) {
+	db := newDB(t)
+	ex := New(db)
+	ex.MaxDepth = 0
+	_, err := ex.Expand(mustParse(t, `
+NAME: deep;
+INORDER: a, b;
+OUTORDER: o;
+{
+  #logic_and(1, a, b, o);
+}
+`), nil)
+	if err == nil || !strings.Contains(err.Error(), "nesting") {
+		t.Fatalf("err = %v, want nesting guard", err)
+	}
+}
+
+func TestExpandAdder(t *testing.T) {
+	db := newDB(t)
+	net, err := New(db).ExpandImpl("add_ripple", map[string]int{"size": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	order, err := net.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4-bit adder: exhaustively check a handful of sums via EvalComb.
+	addEval := func(a, b, cin int) (sum int) {
+		env := map[string]bool{"cin": cin != 0}
+		for i := 0; i < 4; i++ {
+			env[fmtName("A", i)] = a&(1<<i) != 0
+			env[fmtName("B", i)] = b&(1<<i) != 0
+		}
+		for _, eq := range order {
+			v, err := eqn.EvalComb(eq.RHS, env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			env[eq.LHS] = v
+		}
+		for i := 0; i < 4; i++ {
+			if env[fmtName("S", i)] {
+				sum |= 1 << i
+			}
+		}
+		if env["cout"] {
+			sum |= 1 << 4
+		}
+		return sum
+	}
+	for _, tc := range [][4]int{{3, 5, 0, 8}, {15, 1, 0, 16}, {7, 7, 1, 15}, {0, 0, 0, 0}, {15, 15, 1, 31}} {
+		if got := addEval(tc[0], tc[1], tc[2]); got != tc[3] {
+			t.Errorf("%d + %d + %d = %d, want %d", tc[0], tc[1], tc[2], got, tc[3])
+		}
+	}
+}
+
+func fmtName(base string, i int) string {
+	return base + "[" + string(rune('0'+i)) + "]"
+}

@@ -406,9 +406,9 @@ const (
 	AttrInputType     = "input_type"
 	AttrOutputType    = "output_type"
 	AttrOutputTriSt   = "output_tri_state"
-	AttrType          = "type"    // counter architecture style (ripple/synchronous)
-	AttrLoad          = "load"    // asynchronous parallel load option
-	AttrEnable        = "enable"  // count-enable option
+	AttrType          = "type"   // counter architecture style (ripple/synchronous)
+	AttrLoad          = "load"   // asynchronous parallel load option
+	AttrEnable        = "enable" // count-enable option
 	AttrUpOrDown      = "up_or_down"
 	AttrShiftDistance = "shift_distance"
 )

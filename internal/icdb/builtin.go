@@ -1,0 +1,157 @@
+package icdb
+
+import "icdb/internal/genus"
+
+// Builtin parameterized implementations seeded into every database. Each
+// Source is IIF text in the Appendix A dialect; "size" is the width
+// parameter throughout. Area/Delay are per-bit unit estimates used only
+// for ranking.
+
+const srcRegD = `
+NAME: reg_d;
+PARAMETER: size;
+VARIABLE: i;
+INORDER: D[size], load, clk;
+OUTORDER: Q[size];
+{
+  #for(i = 0; i < size; i++)
+    Q[i] = (D[i]*load + Q[i]*!load) @ (~r clk);
+}
+`
+
+const srcCntUp = `
+NAME: cnt_up;
+PARAMETER: size;
+VARIABLE: i;
+INORDER: D[size], load, en, clk;
+OUTORDER: Q[size];
+PIIFVARIABLE: c[size], n[size];
+{
+  c[0] = en;
+  #for(i = 1; i < size; i++)
+    c[i] = c[i-1] * Q[i-1];
+  #for(i = 0; i < size; i++) {
+    n[i] = (Q[i] (+) c[i]) * !load + D[i] * load;
+    Q[i] = n[i] @ (~r clk);
+  }
+}
+`
+
+const srcCntRipple = `
+NAME: cnt_ripple;
+PARAMETER: size;
+VARIABLE: i;
+INORDER: en, clk;
+OUTORDER: Q[size];
+{
+  Q[0] = (Q[0] (+) en) @ (~r clk);
+  #for(i = 1; i < size; i++)
+    Q[i] = (Q[i] (+) 1) @ (~f Q[i-1]);
+}
+`
+
+const srcTriBuf = `
+NAME: tri_buf;
+PARAMETER: size;
+VARIABLE: i;
+INORDER: D[size], en;
+OUTORDER: Q[size];
+{
+  #for(i = 0; i < size; i++)
+    Q[i] = D[i] ~t en;
+}
+`
+
+const srcLogicAnd = `
+NAME: logic_and;
+PARAMETER: size;
+VARIABLE: i;
+INORDER: A[size], B[size];
+OUTORDER: O[size];
+{
+  #for(i = 0; i < size; i++)
+    O[i] = A[i] * B[i];
+}
+`
+
+const srcAddRipple = `
+NAME: add_ripple;
+PARAMETER: size;
+VARIABLE: i;
+INORDER: A[size], B[size], cin;
+OUTORDER: S[size], cout;
+PIIFVARIABLE: c[size];
+{
+  c[0] = cin;
+  #for(i = 1; i < size; i++)
+    c[i] = A[i-1]*B[i-1] + A[i-1]*c[i-1] + B[i-1]*c[i-1];
+  #for(i = 0; i < size; i++)
+    S[i] = A[i] (+) B[i] (+) c[i];
+  cout = A[size-1]*B[size-1] + A[size-1]*c[size-1] + B[size-1]*c[size-1];
+}
+`
+
+func builtinImpls() []Impl {
+	return []Impl{
+		{
+			Name:      "reg_d",
+			Component: genus.CompRegister,
+			Style:     "dff",
+			Functions: []genus.Function{genus.FuncSTORAGE, genus.FuncLOAD, genus.FuncSTORE},
+			WidthMin:  1, WidthMax: 64, Stages: 1,
+			Area: 6, Delay: 1,
+			Params: []string{"size"},
+			Source: srcRegD,
+		},
+		{
+			Name:      "cnt_up",
+			Component: genus.CompCounter,
+			Style:     "synchronous",
+			Functions: []genus.Function{genus.FuncINC, genus.FuncCOUNTER, genus.FuncSTORAGE, genus.FuncLOAD, genus.FuncSTORE},
+			WidthMin:  1, WidthMax: 64, Stages: 1,
+			Area: 12, Delay: 2,
+			Params: []string{"size"},
+			Source: srcCntUp,
+		},
+		{
+			Name:      "cnt_ripple",
+			Component: genus.CompCounter,
+			Style:     "ripple",
+			Functions: []genus.Function{genus.FuncINC, genus.FuncCOUNTER},
+			WidthMin:  1, WidthMax: 64, Stages: 1,
+			Area: 7, Delay: 9,
+			Params: []string{"size"},
+			Source: srcCntRipple,
+		},
+		{
+			Name:      "tri_buf",
+			Component: genus.CompTriState,
+			Style:     "cmos",
+			Functions: []genus.Function{genus.FuncTriState},
+			WidthMin:  1, WidthMax: 64, Stages: 0,
+			Area: 2, Delay: 1,
+			Params: []string{"size"},
+			Source: srcTriBuf,
+		},
+		{
+			Name:      "logic_and",
+			Component: genus.CompLogicUnit,
+			Style:     "gate",
+			Functions: []genus.Function{genus.FuncAND},
+			WidthMin:  1, WidthMax: 64, Stages: 0,
+			Area: 1, Delay: 1,
+			Params: []string{"size"},
+			Source: srcLogicAnd,
+		},
+		{
+			Name:      "add_ripple",
+			Component: genus.CompAdderSubtractor,
+			Style:     "ripple",
+			Functions: []genus.Function{genus.FuncADD},
+			WidthMin:  1, WidthMax: 64, Stages: 0,
+			Area: 9, Delay: 6,
+			Params: []string{"size"},
+			Source: srcAddRipple,
+		},
+	}
+}

@@ -1,0 +1,351 @@
+// Package icdb implements the Intelligent Component Database engine of
+// Chen & Gajski (DAC'90): a relational database of microarchitecture
+// components that behavioral-synthesis tools query by function. The
+// database keeps four relations (components, implementations, instances,
+// tool parameters) in a relstore.Store (the INGRES stand-in), classifies
+// implementations with the GENUS taxonomy from package genus, and stores
+// each implementation's parameterized structure as IIF source text that
+// package expand turns into flat equation networks on demand.
+package icdb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"icdb/internal/genus"
+	"icdb/internal/iif"
+	"icdb/internal/relstore"
+)
+
+// Table names of the ICDB relational schema (§3 of the paper).
+const (
+	TableComponents      = "components"
+	TableImplementations = "implementations"
+	TableInstances       = "instances"
+	TableToolParams      = "tool_params"
+)
+
+// Schemas returns the relational schema of every ICDB table.
+func Schemas() []relstore.Schema {
+	return []relstore.Schema{
+		{
+			Table: TableComponents,
+			Columns: []relstore.Column{
+				{Name: "component", Type: relstore.TString},
+				{Name: "functions", Type: relstore.TString},
+			},
+			Key: []string{"component"},
+		},
+		{
+			Table: TableImplementations,
+			Columns: []relstore.Column{
+				{Name: "name", Type: relstore.TString},
+				{Name: "component", Type: relstore.TString},
+				{Name: "style", Type: relstore.TString},
+				{Name: "functions", Type: relstore.TString},
+				{Name: "width_min", Type: relstore.TInt},
+				{Name: "width_max", Type: relstore.TInt},
+				{Name: "stages", Type: relstore.TInt},
+				{Name: "area", Type: relstore.TFloat},
+				{Name: "delay", Type: relstore.TFloat},
+				{Name: "params", Type: relstore.TString},
+				{Name: "source", Type: relstore.TString},
+			},
+			Key: []string{"name"},
+		},
+		{
+			Table: TableInstances,
+			Columns: []relstore.Column{
+				{Name: "id", Type: relstore.TInt},
+				{Name: "impl", Type: relstore.TString},
+				{Name: "bindings", Type: relstore.TString},
+				{Name: "design", Type: relstore.TString},
+				{Name: "uses", Type: relstore.TInt},
+			},
+			Key: []string{"impl", "bindings"},
+		},
+		{
+			Table: TableToolParams,
+			Columns: []relstore.Column{
+				{Name: "tool", Type: relstore.TString},
+				{Name: "param", Type: relstore.TString},
+				{Name: "value", Type: relstore.TFloat},
+			},
+			Key: []string{"tool", "param"},
+		},
+	}
+}
+
+// Impl is one row of the implementations relation: a (possibly
+// parameterized) realization of a GENUS component type. Source holds the
+// IIF text of the parameterized structure; Params names the IIF PARAMETER
+// variables in declaration order. Area and Delay are per-bit estimates
+// used by the query ranker.
+//
+// WidthMin/WidthMax constrain the value bound to the parameter named
+// "size" — the GENUS width-parameter convention every builtin follows.
+// Implementations whose width parameter has a different name are not
+// range-checked at expansion time.
+type Impl struct {
+	Name      string
+	Component genus.ComponentType
+	Style     string
+	Functions []genus.Function
+	WidthMin  int
+	WidthMax  int
+	Stages    int
+	Area      float64
+	Delay     float64
+	Params    []string
+	Source    string
+}
+
+// Attrs exposes the implementation's attributes to constraint
+// expressions (see Where).
+func (im Impl) Attrs() Attrs {
+	return Attrs{
+		"width_min": float64(im.WidthMin),
+		"width_max": float64(im.WidthMax),
+		"stages":    float64(im.Stages),
+		"area":      im.Area,
+		"delay":     im.Delay,
+	}
+}
+
+// DB is the component database engine. It wraps a relstore.Store holding
+// the four ICDB relations and serializes read-modify-write sequences.
+type DB struct {
+	store *relstore.Store
+	mu    sync.Mutex
+	// nextInstID is the next instance ID to allocate; 0 means not yet
+	// computed from the store (guarded by mu).
+	nextInstID int
+}
+
+// Open bootstraps the ICDB schema on store, creating any missing tables,
+// and (re)seeds the components relation from the GENUS catalog plus the
+// builtin parameterized implementation library. Opening a store that
+// already holds ICDB tables (e.g. one read with relstore.Load) is
+// idempotent: the components relation is refreshed from GENUS, while
+// implementation rows that already exist — including user-tuned versions
+// of builtin names — are left untouched.
+func Open(store *relstore.Store) (*DB, error) {
+	db := &DB{store: store}
+	for _, sc := range Schemas() {
+		if _, err := store.SchemaOf(sc.Table); err == nil {
+			continue
+		}
+		if err := store.CreateTable(sc); err != nil {
+			return nil, fmt.Errorf("icdb: bootstrap: %w", err)
+		}
+	}
+	for _, ct := range genus.AllComponentTypes() {
+		row := relstore.Row{
+			"component": string(ct),
+			"functions": genus.FunctionSetKey(genus.Functions(ct)),
+		}
+		if err := store.Upsert(TableComponents, row); err != nil {
+			return nil, fmt.Errorf("icdb: seed components: %w", err)
+		}
+	}
+	for _, im := range builtinImpls() {
+		// Seed only missing rows: a reopened store may carry user-tuned
+		// versions of builtin implementations, which must survive.
+		if _, err := db.ImplByName(im.Name); err == nil {
+			continue
+		}
+		if err := db.RegisterImpl(im); err != nil {
+			return nil, fmt.Errorf("icdb: seed builtin %q: %w", im.Name, err)
+		}
+	}
+	return db, nil
+}
+
+// Store returns the underlying relational store (for persistence:
+// store.Save / relstore.Load round-trips the whole database).
+func (db *DB) Store() *relstore.Store { return db.store }
+
+// RegisterImpl validates and upserts an implementation row. The IIF
+// source must parse, its NAME must equal the implementation name, its
+// PARAMETER list must match Params, and the declared functions must be a
+// non-empty subset of the component type's GENUS function set.
+func (db *DB) RegisterImpl(im Impl) error {
+	if im.Name == "" {
+		return fmt.Errorf("icdb: implementation has no name")
+	}
+	ct, ok := genus.NormalizeComponentType(string(im.Component))
+	if !ok {
+		return fmt.Errorf("icdb: %s: unknown component type %q", im.Name, im.Component)
+	}
+	if len(im.Functions) == 0 {
+		return fmt.Errorf("icdb: %s: implementation executes no functions", im.Name)
+	}
+	allowed := make(map[genus.Function]bool)
+	for _, f := range genus.Functions(ct) {
+		allowed[f] = true
+	}
+	for _, f := range im.Functions {
+		if !allowed[f] {
+			return fmt.Errorf("icdb: %s: function %s not executable by component type %s", im.Name, f, ct)
+		}
+	}
+	if im.WidthMin < 1 || im.WidthMax < im.WidthMin {
+		return fmt.Errorf("icdb: %s: bad width range [%d,%d]", im.Name, im.WidthMin, im.WidthMax)
+	}
+	d, err := iif.Parse(im.Source)
+	if err != nil {
+		return fmt.Errorf("icdb: %s: bad IIF source: %w", im.Name, err)
+	}
+	if d.Name != im.Name {
+		return fmt.Errorf("icdb: implementation %q has IIF NAME %q; they must match", im.Name, d.Name)
+	}
+	if !sameNameSet(d.Params, im.Params) {
+		return fmt.Errorf("icdb: %s: PARAMETER list %v does not match declared params %v", im.Name, d.Params, im.Params)
+	}
+	im.Component = ct
+	return db.store.Upsert(TableImplementations, implRow(im))
+}
+
+func sameNameSet(a, b []string) bool {
+	as := append([]string(nil), a...)
+	bs := append([]string(nil), b...)
+	sort.Strings(as)
+	sort.Strings(bs)
+	if len(as) != len(bs) {
+		return false
+	}
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func implRow(im Impl) relstore.Row {
+	return relstore.Row{
+		"name":      im.Name,
+		"component": string(im.Component),
+		"style":     im.Style,
+		"functions": genus.FunctionSetKey(im.Functions),
+		"width_min": im.WidthMin,
+		"width_max": im.WidthMax,
+		"stages":    im.Stages,
+		"area":      im.Area,
+		"delay":     im.Delay,
+		"params":    strings.Join(im.Params, ","),
+		"source":    im.Source,
+	}
+}
+
+func rowImpl(r relstore.Row) Impl {
+	im := Impl{
+		Name:      asString(r["name"]),
+		Component: genus.ComponentType(asString(r["component"])),
+		Style:     asString(r["style"]),
+		WidthMin:  asInt(r["width_min"]),
+		WidthMax:  asInt(r["width_max"]),
+		Stages:    asInt(r["stages"]),
+		Area:      asFloat(r["area"]),
+		Delay:     asFloat(r["delay"]),
+		Source:    asString(r["source"]),
+	}
+	if fs := asString(r["functions"]); fs != "" {
+		for _, f := range strings.Split(fs, ",") {
+			im.Functions = append(im.Functions, genus.Function(f))
+		}
+	}
+	if ps := asString(r["params"]); ps != "" {
+		im.Params = strings.Split(ps, ",")
+	}
+	return im
+}
+
+func asString(v any) string {
+	s, _ := v.(string)
+	return s
+}
+
+func asInt(v any) int {
+	switch x := v.(type) {
+	case int:
+		return x
+	case int64:
+		return int(x)
+	case float64:
+		return int(x)
+	}
+	return 0
+}
+
+func asFloat(v any) float64 {
+	switch x := v.(type) {
+	case float64:
+		return x
+	case float32:
+		return float64(x)
+	case int:
+		return float64(x)
+	case int64:
+		return float64(x)
+	}
+	return 0
+}
+
+// ImplByName fetches one implementation by its exact name.
+func (db *DB) ImplByName(name string) (Impl, error) {
+	row, err := db.store.SelectOne(TableImplementations, relstore.Eq("name", name))
+	if err != nil {
+		return Impl{}, fmt.Errorf("icdb: implementation %q: %w", name, err)
+	}
+	return rowImpl(row), nil
+}
+
+// Impls returns every registered implementation in insertion order.
+func (db *DB) Impls() ([]Impl, error) {
+	rows, err := db.store.Select(TableImplementations, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Impl, len(rows))
+	for i, r := range rows {
+		out[i] = rowImpl(r)
+	}
+	return out, nil
+}
+
+// ComponentFunctions reads the components relation: the function set
+// registered for component type ct.
+func (db *DB) ComponentFunctions(ct genus.ComponentType) ([]genus.Function, error) {
+	row, err := db.store.SelectOne(TableComponents, relstore.Eq("component", string(ct)))
+	if err != nil {
+		return nil, fmt.Errorf("icdb: component %q: %w", ct, err)
+	}
+	var out []genus.Function
+	for _, f := range strings.Split(asString(row["functions"]), ",") {
+		if f != "" {
+			out = append(out, genus.Function(f))
+		}
+	}
+	return out, nil
+}
+
+// SetToolParam records a synthesis-tool parameter (the paper's tool
+// parameters relation, §3): e.g. ranking weights or per-tool defaults.
+func (db *DB) SetToolParam(tool, param string, value float64) error {
+	return db.store.Upsert(TableToolParams, relstore.Row{
+		"tool": tool, "param": param, "value": value,
+	})
+}
+
+// ToolParam looks up a tool parameter; ok is false when unset.
+func (db *DB) ToolParam(tool, param string) (value float64, ok bool) {
+	row, err := db.store.SelectOne(TableToolParams,
+		relstore.And(relstore.Eq("tool", tool), relstore.Eq("param", param)))
+	if err != nil {
+		return 0, false
+	}
+	return asFloat(row["value"]), true
+}

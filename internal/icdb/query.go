@@ -1,0 +1,293 @@
+package icdb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"icdb/internal/genus"
+	"icdb/internal/iif"
+)
+
+// Attrs is the attribute environment a constraint is evaluated against:
+// implementation attribute name to numeric value.
+type Attrs map[string]float64
+
+// Constraint restricts the implementations a query may return. Build one
+// with Where (an IIF attribute expression, the CQL layer of §5) or with
+// the typed helpers ForWidth / MaxArea / MaxDelay.
+type Constraint struct {
+	src  string
+	pass func(Attrs) (bool, error)
+}
+
+// String returns the constraint's source form, for diagnostics.
+func (c Constraint) String() string { return c.src }
+
+// Where compiles an attribute expression such as
+// "width_min <= 8 && area <= 10" into a constraint. The expression is
+// parsed with iif.ParseExpr and evaluated with C semantics over the
+// implementation's Attrs; a non-zero result accepts the implementation.
+func Where(expr string) (Constraint, error) {
+	e, err := iif.ParseExpr(expr)
+	if err != nil {
+		return Constraint{}, fmt.Errorf("icdb: constraint %q: %w", expr, err)
+	}
+	return Constraint{
+		src: expr,
+		pass: func(a Attrs) (bool, error) {
+			v, err := evalAttr(e, a)
+			if err != nil {
+				return false, fmt.Errorf("icdb: constraint %q: %w", expr, err)
+			}
+			return v != 0, nil
+		},
+	}, nil
+}
+
+// MustWhere is Where for static expressions; it panics on a parse error.
+func MustWhere(expr string) Constraint {
+	c, err := Where(expr)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// ForWidth keeps implementations whose width range covers n bits.
+func ForWidth(n int) Constraint {
+	return Constraint{
+		src: fmt.Sprintf("width_min <= %d && width_max >= %d", n, n),
+		pass: func(a Attrs) (bool, error) {
+			return a["width_min"] <= float64(n) && a["width_max"] >= float64(n), nil
+		},
+	}
+}
+
+// MaxArea keeps implementations whose per-bit area estimate is at most a.
+func MaxArea(area float64) Constraint {
+	return Constraint{
+		src:  fmt.Sprintf("area <= %g", area),
+		pass: func(a Attrs) (bool, error) { return a["area"] <= area, nil },
+	}
+}
+
+// MaxDelay keeps implementations whose delay estimate is at most d.
+func MaxDelay(d float64) Constraint {
+	return Constraint{
+		src:  fmt.Sprintf("delay <= %g", d),
+		pass: func(a Attrs) (bool, error) { return a["delay"] <= d, nil },
+	}
+}
+
+// evalAttr evaluates an attribute expression with C semantics: '+' adds,
+// '*' multiplies, comparisons and logical operators yield 0/1.
+func evalAttr(e iif.Expr, a Attrs) (float64, error) {
+	switch x := e.(type) {
+	case *iif.IntLit:
+		return float64(x.V), nil
+	case *iif.Ref:
+		if len(x.Index) != 0 {
+			return 0, fmt.Errorf("%s: attribute %q cannot be indexed", x.Pos, x.Name)
+		}
+		v, ok := a[x.Name]
+		if !ok {
+			return 0, fmt.Errorf("%s: unknown attribute %q (have %v)", x.Pos, x.Name, attrNames(a))
+		}
+		return v, nil
+	case *iif.Unary:
+		v, err := evalAttr(x.X, a)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case iif.UNeg:
+			return -v, nil
+		case iif.UNot:
+			return b2f(v == 0), nil
+		}
+		return 0, fmt.Errorf("%s: operator %s not valid in a constraint", x.Pos, x.Op)
+	case *iif.Binary:
+		l, err := evalAttr(x.X, a)
+		if err != nil {
+			return 0, err
+		}
+		// Short-circuit logical operators before evaluating the right side.
+		switch x.Op {
+		case iif.BLAnd:
+			if l == 0 {
+				return 0, nil
+			}
+		case iif.BLOr:
+			if l != 0 {
+				return 1, nil
+			}
+		}
+		r, err := evalAttr(x.Y, a)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case iif.BOr:
+			return l + r, nil
+		case iif.BAnd:
+			return l * r, nil
+		case iif.BMinus:
+			return l - r, nil
+		case iif.BDiv:
+			if r == 0 {
+				return 0, fmt.Errorf("%s: division by zero", x.Pos)
+			}
+			return l / r, nil
+		case iif.BMod:
+			if r == 0 {
+				return 0, fmt.Errorf("%s: modulo by zero", x.Pos)
+			}
+			return math.Mod(l, r), nil
+		case iif.BPow:
+			return math.Pow(l, r), nil
+		case iif.BEq:
+			return b2f(l == r), nil
+		case iif.BNeq:
+			return b2f(l != r), nil
+		case iif.BLt:
+			return b2f(l < r), nil
+		case iif.BGt:
+			return b2f(l > r), nil
+		case iif.BLeq:
+			return b2f(l <= r), nil
+		case iif.BGeq:
+			return b2f(l >= r), nil
+		case iif.BLAnd:
+			return b2f(r != 0), nil
+		case iif.BLOr:
+			return b2f(r != 0), nil
+		}
+		return 0, fmt.Errorf("%s: operator %s not valid in a constraint", x.Pos, x.Op)
+	}
+	return 0, fmt.Errorf("expression form %T not valid in a constraint", e)
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func attrNames(a Attrs) []string {
+	names := make([]string, 0, len(a))
+	for n := range a {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Candidate is one ranked query answer. The implementation's component
+// type is available as Impl.Component.
+type Candidate struct {
+	Impl Impl
+	// Cost is the ranking score: Area*area_weight + Delay*delay_weight,
+	// with weights taken from tool parameters (tool "icdb", defaulting to
+	// 1). Lower is better.
+	Cost float64
+}
+
+// rankWeights reads the ranking weights from the tool-parameters
+// relation.
+func (db *DB) rankWeights() (wa, wd float64) {
+	wa, wd = 1, 1
+	if v, ok := db.ToolParam("icdb", "area_weight"); ok {
+		wa = v
+	}
+	if v, ok := db.ToolParam("icdb", "delay_weight"); ok {
+		wd = v
+	}
+	return wa, wd
+}
+
+// QueryByFunction answers the paper's central query: which component
+// implementations can execute function fn, subject to attribute
+// constraints? Results are ranked by cost, cheapest first.
+func (db *DB) QueryByFunction(fn genus.Function, cs ...Constraint) ([]Candidate, error) {
+	return db.QueryByFunctions([]genus.Function{fn}, cs...)
+}
+
+// QueryByFunctions returns implementations that execute every function in
+// fns (the merged-component query of §4.1: COUNTER+STORAGE finds
+// counters but not pure incrementers), ranked by cost.
+func (db *DB) QueryByFunctions(fns []genus.Function, cs ...Constraint) ([]Candidate, error) {
+	if len(fns) == 0 {
+		return nil, fmt.Errorf("icdb: query with no functions")
+	}
+	want := make([]genus.Function, 0, len(fns))
+	for _, f := range fns {
+		nf, err := genus.NormalizeFunction(string(f))
+		if err != nil {
+			return nil, err
+		}
+		want = append(want, nf)
+	}
+	return db.query(func(im Impl) bool {
+		has := make(map[genus.Function]bool, len(im.Functions))
+		for _, f := range im.Functions {
+			has[f] = true
+		}
+		for _, f := range want {
+			if !has[f] {
+				return false
+			}
+		}
+		return true
+	}, cs)
+}
+
+// QueryByComponent returns the ranked implementations of one component
+// type.
+func (db *DB) QueryByComponent(ct genus.ComponentType, cs ...Constraint) ([]Candidate, error) {
+	nct, ok := genus.NormalizeComponentType(string(ct))
+	if !ok {
+		return nil, fmt.Errorf("icdb: unknown component type %q", ct)
+	}
+	return db.query(func(im Impl) bool { return im.Component == nct }, cs)
+}
+
+func (db *DB) query(match func(Impl) bool, cs []Constraint) ([]Candidate, error) {
+	impls, err := db.Impls()
+	if err != nil {
+		return nil, err
+	}
+	wa, wd := db.rankWeights()
+	var out []Candidate
+	for _, im := range impls {
+		if !match(im) {
+			continue
+		}
+		ok := true
+		for _, c := range cs {
+			pass, err := c.pass(im.Attrs())
+			if err != nil {
+				return nil, err
+			}
+			if !pass {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		out = append(out, Candidate{
+			Impl: im,
+			Cost: im.Area*wa + im.Delay*wd,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Cost != out[j].Cost {
+			return out[i].Cost < out[j].Cost
+		}
+		return out[i].Impl.Name < out[j].Impl.Name
+	})
+	return out, nil
+}

@@ -269,6 +269,10 @@ func ExprString(e Expr) string {
 			return ExprString(x.X) + "--"
 		case UNot:
 			return "!" + ExprString(x.X)
+		case UNeg, UPreInc, UPreDec:
+			// Parenthesized: "a-(- b)" would otherwise print as "a-- b"
+			// and re-lex as a postfix decrement.
+			return "(" + x.Op.String() + " " + ExprString(x.X) + ")"
 		default:
 			return x.Op.String() + " " + ExprString(x.X)
 		}
@@ -283,6 +287,10 @@ func ExprString(e Expr) string {
 	}
 	return "?"
 }
+
+// ExprPos extracts the source position of an expression. Expressions
+// without position information report the zero Pos.
+func ExprPos(e Expr) Pos { return exprPos(e) }
 
 // exprPos extracts the source position of an expression.
 func exprPos(e Expr) Pos {

@@ -272,7 +272,7 @@ func (l *lexer) next() (Token, error) {
 			l.advance()
 			return Token{Kind: EqEq, Pos: pos}, nil
 		}
-		return Token{Kind: Assign, Pos: pos}, nil
+		return Token{Kind: Equals, Pos: pos}, nil
 	case '<':
 		if l.peek() == '=' {
 			l.advance()

@@ -1,0 +1,174 @@
+package iif
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []Kind {
+	out := make([]Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexOperators(t *testing.T) {
+	src := "(+) (.) (+)= (.)= ++ -- ** += *= == != <= >= < > && || @ = : ; , [ ] { } ( ) + - * / % !"
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{
+		Xor, Xnor, InsXor, InsXnor, Inc, Dec, Pow, InsAdd, InsMul,
+		EqEq, Neq, Leq, Geq, Lt, Gt, LAnd, LOr, At, Equals,
+		Colon, Semicolon, Comma, LBracket, RBracket, LBrace, RBrace,
+		LParen, RParen, Plus, Minus, Star, Slash, Pct, Bang, EOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexTildeOps(t *testing.T) {
+	toks, err := Lex("~a ~b ~s ~d ~t ~w ~f ~r ~h ~l")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{AsyncOp, BufOp, SchmittOp, DelayOp, TriOp, WireOrOp, FallOp, RiseOp, HighOp, LowOp, EOF}
+	for i, k := range kinds(toks) {
+		if k != want[i] {
+			t.Errorf("token %d = %s, want %s", i, k, want[i])
+		}
+	}
+}
+
+func TestLexDirectivesAndCalls(t *testing.T) {
+	toks, err := Lex("#if #else #for #c_line #cline #break #continue #myMacro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{HashIf, HashElse, HashFor, HashCLine, HashCLine, HashBreak, HashContinue, HashCall, EOF}
+	for i, k := range kinds(toks) {
+		if k != want[i] {
+			t.Errorf("token %d = %s, want %s", i, k, want[i])
+		}
+	}
+	if toks[7].Text != "myMacro" {
+		t.Errorf("call name = %q", toks[7].Text)
+	}
+}
+
+func TestLexKeywordsUpperCaseOnly(t *testing.T) {
+	toks, err := Lex("NAME name PARAMETER Inorder OUTORDER")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{KwName, IDENT, KwParameter, IDENT, KwOutorder, EOF}
+	for i, k := range kinds(toks) {
+		if k != want[i] {
+			t.Errorf("token %d = %s, want %s", i, k, want[i])
+		}
+	}
+}
+
+func TestLexPositionsAndComments(t *testing.T) {
+	src := "a /* comment\nspanning lines */ b\n  c12"
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 4 {
+		t.Fatalf("tokens = %v", toks)
+	}
+	if toks[0].Pos != (Pos{1, 1}) {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{2, 19}) || toks[1].Text != "b" {
+		t.Errorf("b at %v", toks[1].Pos)
+	}
+	if toks[2].Pos != (Pos{3, 3}) || toks[2].Text != "c12" {
+		t.Errorf("c12 at %v %q", toks[2].Pos, toks[2].Text)
+	}
+	if toks[2].Pos.String() != "3:3" {
+		t.Errorf("Pos.String = %q", toks[2].Pos.String())
+	}
+}
+
+func TestLexInt(t *testing.T) {
+	toks, err := Lex("42 007")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Int != 42 || toks[1].Int != 7 {
+		t.Errorf("ints = %d %d", toks[0].Int, toks[1].Int)
+	}
+	if _, err := Lex("99999999999999999999999"); err == nil {
+		t.Error("overflowing integer accepted")
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"/* never closed", "unterminated comment"},
+		{"~x", "unknown operator"},
+		{"a & b", "unexpected '&'"},
+		{"a | b", "unexpected '|'"},
+		{"# 5", "'#' must be followed"},
+		{"a $ b", "unexpected character"},
+	}
+	for _, tc := range cases {
+		_, err := Lex(tc.src)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Lex(%q) err = %v, want substring %q", tc.src, err, tc.want)
+		}
+	}
+	var e *Error
+	if err := Lex2Err("~x"); err != nil {
+		if ok := errorsAs(err, &e); !ok || e.Pos.Line != 1 {
+			t.Errorf("error carries no position: %v", err)
+		}
+	}
+}
+
+// Lex2Err returns the error from lexing src.
+func Lex2Err(src string) error {
+	_, err := Lex(src)
+	return err
+}
+
+func errorsAs(err error, target **Error) bool {
+	e, ok := err.(*Error)
+	if ok {
+		*target = e
+	}
+	return ok
+}
+
+func TestTokenString(t *testing.T) {
+	cases := []struct {
+		tok  Token
+		want string
+	}{
+		{Token{Kind: IDENT, Text: "foo"}, "ident(foo)"},
+		{Token{Kind: INT, Int: 9}, "int(9)"},
+		{Token{Kind: HashCall, Text: "mac"}, "#mac"},
+		{Token{Kind: Xor}, "(+)"},
+	}
+	for _, tc := range cases {
+		if got := tc.tok.String(); got != tc.want {
+			t.Errorf("Token.String = %q, want %q", got, tc.want)
+		}
+	}
+	if Kind(9999).String() == "" {
+		t.Error("unknown kind has empty String")
+	}
+}

@@ -37,7 +37,7 @@ type parser struct {
 	i    int
 }
 
-func (p *parser) cur() Token  { return p.toks[p.i] }
+func (p *parser) cur() Token { return p.toks[p.i] }
 func (p *parser) peek() Token {
 	if p.i+1 < len(p.toks) {
 		return p.toks[p.i+1]
@@ -106,7 +106,7 @@ func (p *parser) parseDesign() (*Design, error) {
 // without it (e.g. the SHL0 shifter) parse.
 func (p *parser) parseDecl(d *Design) error {
 	kw := p.advance()
-	if p.cur().Kind != Colon && p.cur().Kind != Assign {
+	if p.cur().Kind != Colon && p.cur().Kind != Equals {
 		return errf(p.cur().Pos, "expected ':' after %s", kw.Kind)
 	}
 	p.advance()
@@ -348,7 +348,7 @@ func (p *parser) parseAssignStmt(cline bool) (*Assign, error) {
 	}
 	var op AssignOp
 	switch p.cur().Kind {
-	case Assign:
+	case Equals:
 		op = OpAssign
 	case InsAdd:
 		op = OpAggOr
@@ -375,7 +375,7 @@ func (p *parser) parseAssignStmt(cline bool) (*Assign, error) {
 // parseSmallExpr parses the init/step expressions of a #for header:
 // an assignment "i = e", or an expression such as "i++".
 func (p *parser) parseSmallExpr() (Expr, error) {
-	if p.cur().Kind == IDENT && p.peek().Kind == Assign {
+	if p.cur().Kind == IDENT && p.peek().Kind == Equals {
 		lhs, err := p.parseRef()
 		if err != nil {
 			return nil, err
@@ -385,9 +385,8 @@ func (p *parser) parseSmallExpr() (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		// Represent as Binary{BEq-like}? No: use a dedicated marker — an
-		// assignment inside an expression context is encoded as a Binary
-		// with the assignment captured via forAssign.
+		// A #for-header assignment gets the dedicated forAssign node;
+		// consumers unpack it with the ForAssign accessor.
 		return &forAssign{LHS: lhs, RHS: rhs, P: pos}, nil
 	}
 	return p.parseExpr()
@@ -401,6 +400,18 @@ type forAssign struct {
 }
 
 func (*forAssign) exprNode() {}
+
+// ForAssign reports whether e is a #for-header assignment "lhs = rhs"
+// and returns its parts. Such nodes appear only in For.Init and For.Step;
+// the expander uses this to execute loop headers without exposing the
+// internal node type.
+func ForAssign(e Expr) (lhs *Ref, rhs Expr, ok bool) {
+	fa, isFA := e.(*forAssign)
+	if !isFA {
+		return nil, nil, false
+	}
+	return fa.LHS, fa.RHS, true
+}
 
 func (p *parser) parseRef() (*Ref, error) {
 	t, err := p.expect(IDENT)

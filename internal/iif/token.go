@@ -44,7 +44,7 @@ const (
 	Slash  // / (C division; async value/condition separator)
 	Pct    // %
 	Pow    // **
-	Assign // =
+	Equals // =
 	Inc    // ++
 	Dec    // --
 
@@ -65,17 +65,17 @@ const (
 	LOr  // ||
 
 	// IIF hardware operators.
-	At       // @ (synchronous clocking)
-	AsyncOp  // ~a
-	BufOp    // ~b
-	SchmittOp// ~s
-	DelayOp  // ~d
-	TriOp    // ~t
-	WireOrOp // ~w
-	FallOp   // ~f
-	RiseOp   // ~r
-	HighOp   // ~h
-	LowOp    // ~l
+	At        // @ (synchronous clocking)
+	AsyncOp   // ~a
+	BufOp     // ~b
+	SchmittOp // ~s
+	DelayOp   // ~d
+	TriOp     // ~t
+	WireOrOp  // ~w
+	FallOp    // ~f
+	RiseOp    // ~r
+	HighOp    // ~h
+	LowOp     // ~l
 
 	// Preprocessor-style directives.
 	HashIf       // #if
@@ -95,7 +95,7 @@ var kindNames = map[Kind]string{
 	Colon: ":", Semicolon: ";", Comma: ",",
 	LParen: "(", RParen: ")", LBracket: "[", RBracket: "]", LBrace: "{", RBrace: "}",
 	Plus: "+", Star: "*", Bang: "!", Xor: "(+)", Xnor: "(.)",
-	Minus: "-", Slash: "/", Pct: "%", Pow: "**", Assign: "=",
+	Minus: "-", Slash: "/", Pct: "%", Pow: "**", Equals: "=",
 	Inc: "++", Dec: "--",
 	InsAdd: "+=", InsMul: "*=", InsXor: "(+)=", InsXnor: "(.)=",
 	EqEq: "==", Neq: "!=", Leq: "<=", Geq: ">=", Lt: "<", Gt: ">",

@@ -253,6 +253,32 @@ func checkType(ct ColType, v any) error {
 	return nil
 }
 
+// canon returns a copy of r with values normalized to each column's
+// canonical Go type (TInt -> int, TFloat -> float64), so stored rows
+// read back with the same types whether or not they crossed a
+// Save/Load round-trip.
+func (t *table) canon(r Row) Row {
+	c := r.clone()
+	for _, col := range t.schema.Columns {
+		switch col.Type {
+		case TInt:
+			if v, ok := c[col.Name].(int64); ok {
+				c[col.Name] = int(v)
+			}
+		case TFloat:
+			switch v := c[col.Name].(type) {
+			case int:
+				c[col.Name] = float64(v)
+			case int64:
+				c[col.Name] = float64(v)
+			case float32:
+				c[col.Name] = float64(v)
+			}
+		}
+	}
+	return c
+}
+
 func (t *table) keyOf(r Row) string {
 	if len(t.schema.Key) == 0 {
 		return ""
@@ -276,13 +302,18 @@ func (s *Store) Insert(tableName string, r Row) error {
 	if err := t.checkRow(r); err != nil {
 		return err
 	}
-	if k := t.keyOf(r); k != "" {
+	// Canonicalize before keying so the key index always reflects the
+	// stored representation (float32 key values would otherwise index
+	// under a different string than the stored float64 reproduces).
+	cr := t.canon(r)
+	if len(t.schema.Key) > 0 {
+		k := t.keyOf(cr)
 		if _, conflict := t.keyIndex[k]; conflict {
-			return fmt.Errorf("relstore: table %q duplicate key %v", tableName, t.schema.Key)
+			return fmt.Errorf("relstore: table %q duplicate key %v=%q", tableName, t.schema.Key, keyValues(k))
 		}
 		t.keyIndex[k] = t.nextID
 	}
-	t.rows[t.nextID] = r.clone()
+	t.rows[t.nextID] = cr
 	t.nextID++
 	return nil
 }
@@ -302,13 +333,14 @@ func (s *Store) Upsert(tableName string, r Row) error {
 	if err := t.checkRow(r); err != nil {
 		return err
 	}
-	k := t.keyOf(r)
+	cr := t.canon(r)
+	k := t.keyOf(cr)
 	if id, exists := t.keyIndex[k]; exists {
-		t.rows[id] = r.clone()
+		t.rows[id] = cr
 		return nil
 	}
 	t.keyIndex[k] = t.nextID
-	t.rows[t.nextID] = r.clone()
+	t.rows[t.nextID] = cr
 	t.nextID++
 	return nil
 }
@@ -354,8 +386,10 @@ func (s *Store) SelectOne(tableName string, p Pred) (Row, error) {
 	}
 }
 
-// Update applies fn to every row matching p and returns the number of rows
-// changed. fn receives a copy and returns the replacement row.
+// Update applies fn to every row matching p (in insertion order) and
+// returns the number of rows changed. fn receives a copy and returns the
+// replacement row. Update is atomic: a schema violation or key conflict
+// leaves the table unmodified.
 func (s *Store) Update(tableName string, p Pred, fn func(Row) Row) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -363,29 +397,59 @@ func (s *Store) Update(tableName string, p Pred, fn func(Row) Row) (int, error) 
 	if !ok {
 		return 0, fmt.Errorf("relstore: no table %q", tableName)
 	}
-	n := 0
-	for id, r := range t.rows {
+	ids := make([]int64, 0, len(t.rows))
+	for id := range t.rows {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	// Validate every change against a scratch key index before applying
+	// anything, so a mid-scan conflict cannot leave partial updates.
+	type change struct {
+		id int64
+		nr Row
+	}
+	var changes []change
+	for _, id := range ids {
+		r := t.rows[id]
 		if p != nil && !p(r) {
 			continue
 		}
 		nr := fn(r.clone())
 		if err := t.checkRow(nr); err != nil {
-			return n, err
+			return 0, err
 		}
-		oldKey, newKey := t.keyOf(r), t.keyOf(nr)
-		if oldKey != newKey {
-			if _, conflict := t.keyIndex[newKey]; conflict {
-				return n, fmt.Errorf("relstore: table %q update creates duplicate key", tableName)
-			}
-			delete(t.keyIndex, oldKey)
-			if newKey != "" {
-				t.keyIndex[newKey] = id
-			}
-		}
-		t.rows[id] = nr
-		n++
+		changes = append(changes, change{id: id, nr: t.canon(nr)})
 	}
-	return n, nil
+	// Rebuild the key index in two phases — drop every changed row's old
+	// key, then claim the new ones — so key permutations (a<->b swaps)
+	// are legal and any genuine conflict is detected before mutation.
+	newKeys := t.keyIndex
+	if len(t.schema.Key) > 0 {
+		newKeys = make(map[string]int64, len(t.keyIndex))
+		for k, v := range t.keyIndex {
+			newKeys[k] = v
+		}
+		for _, c := range changes {
+			delete(newKeys, t.keyOf(t.rows[c.id]))
+		}
+		for _, c := range changes {
+			k := t.keyOf(c.nr)
+			if _, conflict := newKeys[k]; conflict {
+				return 0, fmt.Errorf("relstore: table %q update creates duplicate key %v", tableName, keyValues(k))
+			}
+			newKeys[k] = c.id
+		}
+	}
+	for _, c := range changes {
+		t.rows[c.id] = c.nr
+	}
+	t.keyIndex = newKeys
+	return len(changes), nil
+}
+
+// keyValues renders a key-index string for error messages.
+func keyValues(k string) string {
+	return strings.ReplaceAll(k, "\x00", ",")
 }
 
 // Delete removes all rows matching p and returns the count removed.
@@ -447,7 +511,7 @@ func (s *Store) Save(path string) error {
 }
 
 // Load reads a store previously written by Save. JSON numbers arrive as
-// float64; integer columns are normalized back to int64.
+// float64; integer columns are normalized back to int.
 func Load(path string) (*Store, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -472,7 +536,7 @@ func Load(path string) (*Store, error) {
 			for _, c := range pt.Schema.Columns {
 				if c.Type == TInt {
 					if f, ok := r[c.Name].(float64); ok {
-						r[c.Name] = int64(f)
+						r[c.Name] = int(f)
 					}
 				}
 			}

@@ -256,8 +256,8 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if err != nil || len(got) != 1 {
 		t.Fatalf("reloaded select: %v %v", got, err)
 	}
-	if got[0]["size"] != int64(3) {
-		t.Errorf("int column after reload = %T %v, want int64 3", got[0]["size"], got[0]["size"])
+	if got[0]["size"] != 3 {
+		t.Errorf("int column after reload = %T %v, want int 3 (canonical TInt type)", got[0]["size"], got[0]["size"])
 	}
 	if got[0]["area"] != 20.5 || got[0]["parameterized"] != true {
 		t.Errorf("reloaded row = %v", got[0])
@@ -356,5 +356,120 @@ func TestPropertyInsertThenSelectByKey(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestInsertEmptyStringKeyEnforced(t *testing.T) {
+	s := New()
+	if err := s.CreateTable(Schema{
+		Table:   "named",
+		Columns: []Column{{Name: "name", Type: TString}},
+		Key:     []string{"name"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert("named", Row{"name": ""}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert("named", Row{"name": ""}); err == nil {
+		t.Error("duplicate empty-string key accepted")
+	}
+}
+
+func TestCanonicalColumnTypes(t *testing.T) {
+	s := newImplStore(t)
+	if err := s.Insert("implementations", Row{
+		"name": "a", "component": "c", "size": 4, "area": 7, "parameterized": true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	row, err := s.SelectOne("implementations", Eq("name", "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := row["size"].(int); !ok {
+		t.Errorf("size stored as %T, want int", row["size"])
+	}
+	if _, ok := row["area"].(float64); !ok {
+		t.Errorf("area stored as %T, want float64", row["area"])
+	}
+	// Update keeps canonical types too.
+	if _, err := s.Update("implementations", Eq("name", "a"), func(r Row) Row {
+		r["size"] = 8
+		return r
+	}); err != nil {
+		t.Fatal(err)
+	}
+	row, err = s.SelectOne("implementations", Eq("name", "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := row["size"].(int); !ok || v != 8 {
+		t.Errorf("after update: size = %v (%T)", row["size"], row["size"])
+	}
+}
+
+func TestUpdateAtomicOnKeyConflict(t *testing.T) {
+	s := newImplStore(t)
+	for _, n := range []string{"a", "b"} {
+		if err := s.Insert("implementations", Row{"name": n, "component": "Counter", "size": 0, "area": 1.0, "parameterized": false}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Renaming every row to "c" must conflict — and leave BOTH rows
+	// untouched, not just roll back the second.
+	n, err := s.Update("implementations", nil, func(r Row) Row {
+		r["name"] = "c"
+		return r
+	})
+	if err == nil {
+		t.Fatal("conflicting update accepted")
+	}
+	if n != 0 {
+		t.Errorf("partial update: n = %d, want 0", n)
+	}
+	for _, name := range []string{"a", "b"} {
+		if _, err := s.SelectOne("implementations", Eq("name", name)); err != nil {
+			t.Errorf("row %q damaged by aborted update: %v", name, err)
+		}
+	}
+	// A key swap is a legal permutation and must succeed atomically.
+	if _, err := s.Update("implementations", nil, func(r Row) Row {
+		if r["name"] == "a" {
+			r["name"] = "b"
+		} else {
+			r["name"] = "a"
+		}
+		return r
+	}); err != nil {
+		t.Errorf("key swap rejected: %v", err)
+	}
+}
+
+func TestFloatKeyCanonicalizedBeforeIndexing(t *testing.T) {
+	s := New()
+	if err := s.CreateTable(Schema{
+		Table:   "f",
+		Columns: []Column{{Name: "k", Type: TFloat}, {Name: "v", Type: TInt}},
+		Key:     []string{"k"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert("f", Row{"k": float32(0.1), "v": 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Upserting the stored (canonical float64) form must replace, not
+	// duplicate, the row.
+	row, err := s.SelectOne("f", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row["v"] = 2
+	if err := s.Upsert("f", row); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.Count("f", nil)
+	if err != nil || n != 1 {
+		t.Fatalf("count = %d (%v), want 1", n, err)
 	}
 }
