@@ -1,0 +1,252 @@
+// bench.go implements "icdbq bench": programmatic benchmarks of the ICDB
+// read path over synthetic catalogs, emitted as a JSON trajectory file
+// (BENCH_PR<N>.json) so performance is tracked commit over commit. Each
+// indexed measurement is paired with the in-tree full-scan reference
+// path (internal/benchgen), reproducing the before/after comparison on
+// whatever machine runs it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"icdb/internal/benchgen"
+	"icdb/internal/expand"
+	"icdb/internal/genus"
+	"icdb/internal/icdb"
+	"icdb/internal/relstore"
+)
+
+// prePRBaseline pins the numbers measured on the pre-index read path
+// (commit 5f6c9fa, the state before the planner/index engine landed) on
+// the reference container (Intel Xeon @ 2.10GHz), for the same workload
+// the comparisons below run: QueryByFunction(ADD, MaxArea(50)) and
+// ImplByName over the benchgen catalog. The live fullscan_ns_per_op
+// numbers re-measure that path in-tree; this block records the actual
+// before-change measurement.
+var prePRBaseline = map[string]map[string]float64{
+	"query_by_function_ns_per_op": {"1000": 1995273, "10000": 22741848},
+	"impl_by_name_ns_per_op":      {"1000": 163993, "10000": 2492863},
+}
+
+type benchMeasure struct {
+	Name        string  `json:"name"`
+	Size        int     `json:"size,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type benchComparison struct {
+	Name            string  `json:"name"`
+	Size            int     `json:"size"`
+	IndexedNsPerOp  float64 `json:"indexed_ns_per_op"`
+	FullScanNsPerOp float64 `json:"fullscan_ns_per_op"`
+	Speedup         float64 `json:"speedup"`
+	IndexedAllocs   int64   `json:"indexed_allocs_per_op"`
+	FullScanAllocs  int64   `json:"fullscan_allocs_per_op"`
+}
+
+type benchReport struct {
+	Tool          string                        `json:"tool"`
+	GOOS          string                        `json:"goos"`
+	GOARCH        string                        `json:"goarch"`
+	CPUs          int                           `json:"cpus"`
+	GoVersion     string                        `json:"go_version"`
+	Benchtime     string                        `json:"benchtime"`
+	Sizes         []int                         `json:"sizes"`
+	PrePRBaseline map[string]map[string]float64 `json:"pre_pr_baseline"`
+	Comparisons   []benchComparison             `json:"comparisons"`
+	Measurements  []benchMeasure                `json:"measurements"`
+}
+
+func runBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	sizesFlag := fs.String("sizes", "1000,10000", "comma-separated catalog sizes")
+	out := fs.String("out", "BENCH_PR2.json", "output JSON path")
+	benchtime := fs.String("benchtime", "300ms", "per-benchmark measuring time")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var sizes []int
+	for _, s := range strings.Split(*sizesFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad size %q", s)
+		}
+		sizes = append(sizes, n)
+	}
+	// testing.Benchmark reads the test.benchtime flag; register the
+	// testing flags and set it explicitly.
+	testing.Init()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		return err
+	}
+
+	report := benchReport{
+		Tool:          "icdbq bench",
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		CPUs:          runtime.NumCPU(),
+		GoVersion:     runtime.Version(),
+		Benchtime:     *benchtime,
+		Sizes:         sizes,
+		PrePRBaseline: prePRBaseline,
+	}
+
+	measure := func(name string, size int, f func(b *testing.B)) benchMeasure {
+		r := testing.Benchmark(f)
+		m := benchMeasure{
+			Name:        name,
+			Size:        size,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		fmt.Fprintf(os.Stderr, "%-28s n=%-7d %12.0f ns/op %8d allocs/op\n", name, size, m.NsPerOp, m.AllocsPerOp)
+		return m
+	}
+
+	tmp, err := os.MkdirTemp("", "icdbq-bench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	for _, n := range sizes {
+		fmt.Fprintf(os.Stderr, "building %d-implementation catalog...\n", n)
+		db, err := benchgen.NewDB(n)
+		if err != nil {
+			return err
+		}
+		// Warm the lazily built inverted indexes so measurements see
+		// steady state.
+		if _, err := db.QueryByFunction(genus.FuncADD); err != nil {
+			return err
+		}
+
+		qIdx := measure("query_by_function", n, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.QueryByFunction(genus.FuncADD, icdb.MaxArea(50)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		qScan := measure("query_by_function_fullscan", n, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := benchgen.FullScanQueryByFunction(db, genus.FuncADD, icdb.MaxArea(50)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		report.Comparisons = append(report.Comparisons, benchComparison{
+			Name: "query_by_function", Size: n,
+			IndexedNsPerOp: qIdx.NsPerOp, FullScanNsPerOp: qScan.NsPerOp,
+			Speedup:       qScan.NsPerOp / qIdx.NsPerOp,
+			IndexedAllocs: qIdx.AllocsPerOp, FullScanAllocs: qScan.AllocsPerOp,
+		})
+
+		lIdx := measure("impl_by_name", n, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.ImplByName(benchgen.NameOf(i % n)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		lScan := measure("impl_by_name_fullscan", n, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := benchgen.FullScanImplRow(db, benchgen.NameOf(i%n)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		report.Comparisons = append(report.Comparisons, benchComparison{
+			Name: "impl_by_name", Size: n,
+			IndexedNsPerOp: lIdx.NsPerOp, FullScanNsPerOp: lScan.NsPerOp,
+			Speedup:       lScan.NsPerOp / lIdx.NsPerOp,
+			IndexedAllocs: lIdx.AllocsPerOp, FullScanAllocs: lScan.AllocsPerOp,
+		})
+
+		report.Measurements = append(report.Measurements,
+			qIdx, qScan, lIdx, lScan,
+			measure("query_topk5", n, func(b *testing.B) {
+				b.ReportAllocs()
+				fns := []genus.Function{genus.FuncADD, genus.FuncSUB}
+				for i := 0; i < b.N; i++ {
+					if _, err := db.QueryByFunctionsTopK(fns, 5, icdb.ForWidth(8)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}),
+			measure("save_json", n, func(b *testing.B) {
+				b.ReportAllocs()
+				path := filepath.Join(tmp, fmt.Sprintf("save%d.json", n))
+				for i := 0; i < b.N; i++ {
+					if err := db.Store().Save(path); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}),
+			measure("load_json", n, func(b *testing.B) {
+				b.ReportAllocs()
+				path := filepath.Join(tmp, fmt.Sprintf("save%d.json", n))
+				for i := 0; i < b.N; i++ {
+					if _, err := relstore.Load(path); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}),
+		)
+	}
+
+	// Catalog-size-independent measurements.
+	db, err := icdb.Open(relstore.New())
+	if err != nil {
+		return err
+	}
+	params := map[string]int{"size": 8}
+	report.Measurements = append(report.Measurements,
+		measure("expand_cold", 0, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := expand.New(db).ExpandImpl("cnt_up", params); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		measure("register_impl", 0, func(b *testing.B) {
+			b.ReportAllocs()
+			im := benchgen.ImplAt(0)
+			for i := 0; i < b.N; i++ {
+				if err := db.RegisterImpl(im); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+	)
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	for _, c := range report.Comparisons {
+		fmt.Printf("%s n=%d: %.0f ns/op indexed vs %.0f ns/op full scan (%.1fx)\n",
+			c.Name, c.Size, c.IndexedNsPerOp, c.FullScanNsPerOp, c.Speedup)
+	}
+	return nil
+}

@@ -7,6 +7,7 @@
 //	icdbq impls
 //	icdbq query <function>... [-where <expr>]
 //	icdbq expand <design.iif|-> [param=value...]
+//	icdbq bench [-sizes 1000,10000] [-out BENCH_PR2.json] [-benchtime 300ms]
 package main
 
 import (
@@ -32,7 +33,11 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: icdbq impls | query <function>... [-where <expr>] | expand <file|-> [param=value...]")
+		return fmt.Errorf("usage: icdbq impls | query <function>... [-where <expr>] | expand <file|-> [param=value...] | bench [flags]")
+	}
+	if args[0] == "bench" {
+		// Benchmarks build their own catalogs; no seeded DB needed.
+		return runBench(args[1:])
 	}
 	db, err := icdb.Open(relstore.New())
 	if err != nil {
@@ -57,7 +62,7 @@ func run(args []string) error {
 	case "expand":
 		return runExpand(db, args[1:])
 	}
-	return fmt.Errorf("unknown command %q (want impls, query, or expand)", args[0])
+	return fmt.Errorf("unknown command %q (want impls, query, expand, or bench)", args[0])
 }
 
 func runQuery(db *icdb.DB, args []string) error {

@@ -12,6 +12,7 @@ package expand
 import (
 	"fmt"
 	"regexp"
+	"slices"
 	"strings"
 
 	"icdb/internal/eqn"
@@ -39,9 +40,22 @@ type Expander struct {
 
 	designs  map[string]*iif.Design // parsed implementation sources, by name
 	nets     map[string]*eqn.Network
-	netDeps  map[string][]instReq // template key -> transitive subcomponent requests
-	resolved map[string]icdb.Impl // #call name -> implementation
+	netDeps  map[string][]instReq     // template key -> transitive subcomponent requests
+	resolved map[resolveKey]icdb.Impl // #call resolution memo
 }
+
+// resolveKey memoizes #call resolution per (name, requested width): two
+// calls sharing a name but requesting different sizes may legitimately
+// resolve to different implementations, so the bare name is not enough.
+// Width anyWidth records the width-agnostic resolution used before a
+// call's size binding is known.
+type resolveKey struct {
+	name  string
+	width int
+}
+
+// anyWidth marks a resolution not constrained by a requested width.
+const anyWidth = -1
 
 // instReq is one recorded instantiation request: which implementation a
 // template splices, with which bindings. Replayed on template cache
@@ -59,7 +73,7 @@ func New(db *icdb.DB) *Expander {
 		designs:  make(map[string]*iif.Design),
 		nets:     make(map[string]*eqn.Network),
 		netDeps:  make(map[string][]instReq),
-		resolved: make(map[string]icdb.Impl),
+		resolved: make(map[resolveKey]icdb.Impl),
 	}
 }
 
@@ -494,7 +508,7 @@ func (x *expansion) assign(a *iif.Assign) error {
 // ---- subcomponent calls ----
 
 func (x *expansion) call(c *iif.Call) error {
-	im, err := x.resolve(c)
+	im, err := x.resolve(c, anyWidth)
 	if err != nil {
 		return err
 	}
@@ -506,17 +520,42 @@ func (x *expansion) call(c *iif.Call) error {
 	if len(c.Args) < np {
 		return iif.Errf(c.Pos, "#%s: needs %d leading parameter argument(s) %v", c.Name, np, d.Params)
 	}
-	bindings := make(map[string]int, np)
+	// Evaluate the parameter arguments once, positionally: argument
+	// expressions may have side effects (i++), so a width-aware
+	// re-resolution below rebinds these values instead of re-evaluating.
+	vals := make([]int, np)
 	for i, p := range d.Params {
 		v, err := x.evalInt(c.Args[i])
 		if err != nil {
 			return iif.Errf(c.Pos, "#%s: parameter %q: %v", c.Name, p, err)
 		}
-		bindings[p] = v
+		vals[i] = v
 	}
+	bindings := bindParams(d.Params, vals)
 	if sz, ok := bindings["size"]; ok && (sz < im.WidthMin || sz > im.WidthMax) {
-		return iif.Errf(c.Pos, "#%s: size %d outside implementation %q width range [%d,%d]",
-			c.Name, sz, im.Name, im.WidthMin, im.WidthMax)
+		// The width-agnostic resolution cannot expand to this size; ask
+		// the database again, filtered to implementations covering it
+		// (the ROADMAP's width-aware call resolution, for the
+		// range-recovery case).
+		// Rebinding vals is positional, so the alternate must declare the
+		// same parameters in the same order — a count match alone could
+		// silently bind values to the wrong names.
+		recovered := false
+		if alt, altErr := x.resolve(c, sz); altErr == nil {
+			if ad, derr := x.ex.design(alt); derr == nil && slices.Equal(ad.Params, d.Params) {
+				im, d = alt, ad
+				recovered = true
+			}
+		}
+		if !recovered {
+			return iif.Errf(c.Pos, "#%s: size %d outside implementation %q width range [%d,%d]",
+				c.Name, sz, im.Name, im.WidthMin, im.WidthMax)
+		}
+		bindings = bindParams(d.Params, vals)
+		if sz, ok := bindings["size"]; ok && (sz < im.WidthMin || sz > im.WidthMax) {
+			return iif.Errf(c.Pos, "#%s: size %d outside implementation %q width range [%d,%d]",
+				c.Name, sz, im.Name, im.WidthMin, im.WidthMax)
+		}
 	}
 	tmpl, _, err := x.ex.template(d, im, bindings, x.design, x.depth+1)
 	if err != nil {
@@ -594,24 +633,39 @@ func (x *expansion) call(c *iif.Call) error {
 	return nil
 }
 
-// resolve maps a #CALL name to a database implementation. Resolution
-// tries, in order: an implementation of that exact (or lower-cased)
-// name, the best-ranked implementation of a matching component type, and
-// the best-ranked implementation answering a query by function — the
-// paper's query-by-function path from inside the expander.
-func (x *expansion) resolve(c *iif.Call) (icdb.Impl, error) {
-	if im, ok := x.ex.resolved[c.Name]; ok {
+// bindParams zips parameter names with positionally evaluated values.
+func bindParams(params []string, vals []int) map[string]int {
+	bindings := make(map[string]int, len(params))
+	for i, p := range params {
+		bindings[p] = vals[i]
+	}
+	return bindings
+}
+
+// resolve maps a #CALL name to a database implementation, memoized per
+// (name, width). Resolution tries, in order: an implementation of that
+// exact (or lower-cased) name, the best-ranked implementation of a
+// matching component type, and the best-ranked implementation answering
+// a query by function — the paper's query-by-function path from inside
+// the expander. A width other than anyWidth constrains the component-
+// and function-query paths to implementations whose width range covers
+// it (exact-name resolution stays authoritative: naming an
+// implementation that cannot stretch to the requested size is an error,
+// not a substitution).
+func (x *expansion) resolve(c *iif.Call, width int) (icdb.Impl, error) {
+	key := resolveKey{name: c.Name, width: width}
+	if im, ok := x.ex.resolved[key]; ok {
 		return im, nil
 	}
-	im, err := x.resolveUncached(c)
+	im, err := x.resolveUncached(c, width)
 	if err != nil {
 		return icdb.Impl{}, err
 	}
-	x.ex.resolved[c.Name] = im
+	x.ex.resolved[key] = im
 	return im, nil
 }
 
-func (x *expansion) resolveUncached(c *iif.Call) (icdb.Impl, error) {
+func (x *expansion) resolveUncached(c *iif.Call, width int) (icdb.Impl, error) {
 	db := x.ex.db
 	if im, err := db.ImplByName(c.Name); err == nil {
 		return im, nil
@@ -619,13 +673,17 @@ func (x *expansion) resolveUncached(c *iif.Call) (icdb.Impl, error) {
 	if im, err := db.ImplByName(strings.ToLower(c.Name)); err == nil {
 		return im, nil
 	}
+	var cs []icdb.Constraint
+	if width != anyWidth {
+		cs = append(cs, icdb.ForWidth(width))
+	}
 	if ct, ok := genus.NormalizeComponentType(c.Name); ok {
-		if cands, err := db.QueryByComponent(ct); err == nil && len(cands) > 0 {
+		if cands, err := db.QueryByComponentTopK(ct, 1, cs...); err == nil && len(cands) > 0 {
 			return cands[0].Impl, nil
 		}
 	}
 	if fn, err := genus.NormalizeFunction(c.Name); err == nil {
-		if cands, err := db.QueryByFunction(fn); err == nil && len(cands) > 0 {
+		if cands, err := db.QueryByFunctionTopK(fn, 1, cs...); err == nil && len(cands) > 0 {
 			return cands[0].Impl, nil
 		}
 	}

@@ -1,0 +1,155 @@
+package expand
+
+import (
+	"strings"
+	"testing"
+
+	"icdb/internal/genus"
+	"icdb/internal/icdb"
+)
+
+// regAdder registers a trivial single-bit adder implementation covering
+// the given width range.
+func regAdder(t *testing.T, db *icdb.DB, name string, wmin, wmax int, area float64) {
+	t.Helper()
+	src := "NAME: " + name + "; PARAMETER: size; INORDER: a, b; OUTORDER: s; { s = a (+) b; }"
+	if err := db.RegisterImpl(icdb.Impl{
+		Name:      name,
+		Component: genus.CompAdderSubtractor,
+		Style:     "test",
+		Functions: []genus.Function{genus.FuncADD},
+		WidthMin:  wmin, WidthMax: wmax, Stages: 0,
+		Area: area, Delay: 1,
+		Params: []string{"size"},
+		Source: src,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWidthAwareCallResolution: two #calls sharing one name but
+// requesting different sizes must not share a resolution — the second
+// call re-resolves against implementations covering its width (the
+// ROADMAP's width-aware call resolution, range-recovery case).
+func TestWidthAwareCallResolution(t *testing.T) {
+	db := newDB(t)
+	// narrow_add is the cheapest ADD but only stretches to 4 bits;
+	// wide_add covers the rest. (The builtin add_ripple, cost 15, covers
+	// [1,64] and must lose the ranking to both.)
+	regAdder(t, db, "narrow_add", 1, 4, 1)
+	regAdder(t, db, "wide_add", 5, 64, 2)
+
+	const top = `
+NAME: top;
+INORDER: x, y;
+OUTORDER: p, q, r;
+{
+  #ADD(4, x, y, p);
+  #ADD(16, x, y, q);
+  #ADD(2, x, y, r);
+}
+`
+	net, err := New(db).Expand(mustParse(t, top), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	insts, err := db.Instances()
+	if err != nil {
+		t.Fatal(err)
+	}
+	uses := make(map[string]int)
+	for _, in := range insts {
+		uses[in.Impl] += in.Uses
+	}
+	// Calls 1 and 3 fit narrow_add; call 2 must recover onto wide_add
+	// instead of failing on narrow_add's range.
+	if uses["narrow_add"] != 2 || uses["wide_add"] != 1 {
+		t.Errorf("instance uses = %v, want narrow_add:2 wide_add:1", uses)
+	}
+}
+
+// TestWidthAwareResolutionByComponentName: the same recovery through the
+// component-type resolution path.
+func TestWidthAwareResolutionByComponentName(t *testing.T) {
+	db := newDB(t)
+	regAdder(t, db, "narrow_add", 1, 4, 1)
+	regAdder(t, db, "wide_add", 5, 64, 2)
+	const top = `
+NAME: top;
+INORDER: x, y;
+OUTORDER: p;
+{
+  #Adder_Subtractor(16, x, y, p);
+}
+`
+	if _, err := New(db).Expand(mustParse(t, top), nil); err != nil {
+		t.Fatalf("component-path width recovery failed: %v", err)
+	}
+	insts, _ := db.Instances()
+	if len(insts) != 1 || insts[0].Impl != "wide_add" {
+		t.Errorf("instances = %+v, want one wide_add", insts)
+	}
+}
+
+// TestWidthRecoveryRequiresSameParamList: recovery rebinds evaluated
+// argument values positionally, so an alternate implementation whose
+// parameters differ in name or order must be rejected (error, not a
+// silent mis-binding).
+func TestWidthRecoveryRequiresSameParamList(t *testing.T) {
+	db := newDB(t)
+	regAdder(t, db, "narrow_add", 1, 4, 1)
+	// The only wide ADD declares (stages, size) — positionally
+	// incompatible with narrow_add's (size).
+	if err := db.RegisterImpl(icdb.Impl{
+		Name:      "wide_odd",
+		Component: genus.CompAdderSubtractor,
+		Style:     "test",
+		Functions: []genus.Function{genus.FuncADD},
+		WidthMin:  5, WidthMax: 64, Stages: 0,
+		Area: 2, Delay: 1,
+		Params: []string{"stages", "size"},
+		Source: "NAME: wide_odd; PARAMETER: stages, size; INORDER: a, b; OUTORDER: s; { s = a (+) b; }",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	const top = `
+NAME: top;
+INORDER: x, y;
+OUTORDER: p;
+{
+  #ADD(16, x, y, p);
+}
+`
+	_, err := New(db).Expand(mustParse(t, top), nil)
+	if err == nil || !strings.Contains(err.Error(), "width range") {
+		t.Fatalf("err = %v, want width range error (no positional mis-binding)", err)
+	}
+}
+
+// TestExactNameStaysAuthoritative: naming an implementation that cannot
+// stretch to the requested size is an error, never a silent substitution.
+func TestExactNameStaysAuthoritative(t *testing.T) {
+	db := newDB(t)
+	regAdder(t, db, "narrow_add", 1, 4, 1)
+	regAdder(t, db, "wide_add", 5, 64, 2)
+	const top = `
+NAME: top;
+INORDER: x, y;
+OUTORDER: p;
+{
+  #narrow_add(16, x, y, p);
+}
+`
+	_, err := New(db).Expand(mustParse(t, top), nil)
+	if err == nil || !strings.Contains(err.Error(), "width range") {
+		t.Fatalf("err = %v, want width range error", err)
+	}
+	// No instance may be recorded for the failed call.
+	insts, _ := db.Instances()
+	if len(insts) != 0 {
+		t.Errorf("failed call left instances: %+v", insts)
+	}
+}

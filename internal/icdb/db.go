@@ -116,12 +116,32 @@ func (im Impl) Attrs() Attrs {
 
 // DB is the component database engine. It wraps a relstore.Store holding
 // the four ICDB relations and serializes read-modify-write sequences.
+//
+// On top of the store, a DB maintains derived read-path state: a cache of
+// decoded implementations plus inverted indexes from function and
+// component type to the implementations carrying them, so query-by-
+// function intersects posting lists instead of scanning and re-decoding
+// the implementations relation. The derived state is built lazily, kept
+// current by RegisterImpl and SetToolParam, and dropped wholesale by
+// InvalidateCaches; writes that bypass the DB (directly through Store())
+// must call InvalidateCaches to be seen by queries.
 type DB struct {
 	store *relstore.Store
 	mu    sync.Mutex
 	// nextInstID is the next instance ID to allocate; 0 means not yet
 	// computed from the store (guarded by mu).
 	nextInstID int
+
+	// cmu guards the derived state below. Cached *Impl values are shared
+	// between the cache and the posting maps and treated as immutable;
+	// public methods hand out copies.
+	cmu   sync.RWMutex
+	impls map[string]*Impl                         // name -> decoded implementation
+	byFn  map[genus.Function]map[string]*Impl      // function -> posting map
+	byCt  map[genus.ComponentType]map[string]*Impl // component type -> posting map
+	// Cached ranking weights (tool "icdb"), refreshed after SetToolParam.
+	wa, wd float64
+	wOK    bool
 }
 
 // Open bootstraps the ICDB schema on store, creating any missing tables,
@@ -164,8 +184,127 @@ func Open(store *relstore.Store) (*DB, error) {
 }
 
 // Store returns the underlying relational store (for persistence:
-// store.Save / relstore.Load round-trips the whole database).
+// store.Save / relstore.Load round-trips the whole database). Writing to
+// the implementations or tool_params relations directly through the
+// store bypasses the DB's derived indexes; call InvalidateCaches
+// afterwards so queries observe the change.
 func (db *DB) Store() *relstore.Store { return db.store }
+
+// InvalidateCaches drops every piece of derived read-path state (the
+// decoded-implementation cache, the function and component inverted
+// indexes, and the cached ranking weights). It is rebuilt lazily on the
+// next query. Only needed after mutating the store directly; RegisterImpl
+// and SetToolParam keep the caches current themselves.
+func (db *DB) InvalidateCaches() {
+	db.cmu.Lock()
+	defer db.cmu.Unlock()
+	db.impls = nil
+	db.byFn = nil
+	db.byCt = nil
+	db.wOK = false
+}
+
+// ensureIndexes builds the decoded-implementation cache and the inverted
+// indexes from one no-copy scan of the implementations relation, if they
+// are not already live.
+func (db *DB) ensureIndexes() error {
+	db.cmu.RLock()
+	built := db.impls != nil
+	db.cmu.RUnlock()
+	if built {
+		return nil
+	}
+	db.cmu.Lock()
+	defer db.cmu.Unlock()
+	if db.impls != nil {
+		return nil
+	}
+	impls := make(map[string]*Impl)
+	byFn := make(map[genus.Function]map[string]*Impl)
+	byCt := make(map[genus.ComponentType]map[string]*Impl)
+	err := db.store.Scan(TableImplementations, nil, func(r relstore.Row) bool {
+		im := rowImpl(r)
+		indexImpl(impls, byFn, byCt, &im)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	db.impls, db.byFn, db.byCt = impls, byFn, byCt
+	return nil
+}
+
+// indexImpl files im under its name, functions, and component type,
+// unfiling any previous implementation of the same name first.
+func indexImpl(impls map[string]*Impl, byFn map[genus.Function]map[string]*Impl, byCt map[genus.ComponentType]map[string]*Impl, im *Impl) {
+	if old, ok := impls[im.Name]; ok {
+		unindexImpl(impls, byFn, byCt, old)
+	}
+	impls[im.Name] = im
+	for _, f := range im.Functions {
+		post := byFn[f]
+		if post == nil {
+			post = make(map[string]*Impl)
+			byFn[f] = post
+		}
+		post[im.Name] = im
+	}
+	post := byCt[im.Component]
+	if post == nil {
+		post = make(map[string]*Impl)
+		byCt[im.Component] = post
+	}
+	post[im.Name] = im
+}
+
+func unindexImpl(impls map[string]*Impl, byFn map[genus.Function]map[string]*Impl, byCt map[genus.ComponentType]map[string]*Impl, im *Impl) {
+	delete(impls, im.Name)
+	for _, f := range im.Functions {
+		if post := byFn[f]; post != nil {
+			delete(post, im.Name)
+			if len(post) == 0 {
+				delete(byFn, f)
+			}
+		}
+	}
+	if post := byCt[im.Component]; post != nil {
+		delete(post, im.Name)
+		if len(post) == 0 {
+			delete(byCt, im.Component)
+		}
+	}
+}
+
+// withIndexes runs collect under the read lock with the derived indexes
+// guaranteed live, (re)building them first when necessary. The loop
+// closes the window between a successful build and the read lock in
+// which a concurrent InvalidateCaches could nil the maps out.
+func (db *DB) withIndexes(collect func()) error {
+	for {
+		db.cmu.RLock()
+		if db.impls != nil {
+			collect()
+			db.cmu.RUnlock()
+			return nil
+		}
+		db.cmu.RUnlock()
+		if err := db.ensureIndexes(); err != nil {
+			return err
+		}
+	}
+}
+
+// noteImpl records a freshly decoded or registered implementation in the
+// live caches (a no-op while they are unbuilt — the next ensureIndexes
+// picks the row up from the store).
+func (db *DB) noteImpl(im Impl) {
+	db.cmu.Lock()
+	defer db.cmu.Unlock()
+	if db.impls == nil {
+		return
+	}
+	indexImpl(db.impls, db.byFn, db.byCt, &im)
+}
 
 // RegisterImpl validates and upserts an implementation row. The IIF
 // source must parse, its NAME must equal the implementation name, its
@@ -205,7 +344,13 @@ func (db *DB) RegisterImpl(im Impl) error {
 		return fmt.Errorf("icdb: %s: PARAMETER list %v does not match declared params %v", im.Name, d.Params, im.Params)
 	}
 	im.Component = ct
-	return db.store.Upsert(TableImplementations, implRow(im))
+	if err := db.store.Upsert(TableImplementations, implRow(im)); err != nil {
+		return err
+	}
+	// Keep the derived indexes current: the registered implementation
+	// replaces any previous posting-list entries under its name.
+	db.noteImpl(im.copyOut())
+	return nil
 }
 
 func sameNameSet(a, b []string) bool {
@@ -238,6 +383,16 @@ func implRow(im Impl) relstore.Row {
 		"params":    strings.Join(im.Params, ","),
 		"source":    im.Source,
 	}
+}
+
+// copyOut returns a caller-owned copy of im: cached implementations are
+// shared and immutable, so every public method hands out copies with
+// fresh slices.
+func (im *Impl) copyOut() Impl {
+	out := *im
+	out.Functions = append([]genus.Function(nil), im.Functions...)
+	out.Params = append([]string(nil), im.Params...)
+	return out
 }
 
 func rowImpl(r relstore.Row) Impl {
@@ -294,13 +449,25 @@ func asFloat(v any) float64 {
 	return 0
 }
 
-// ImplByName fetches one implementation by its exact name.
+// ImplByName fetches one implementation by its exact name. It is a point
+// lookup: served from the decoded cache when possible, otherwise one
+// keyed Get against the store (never a scan).
 func (db *DB) ImplByName(name string) (Impl, error) {
-	row, err := db.store.SelectOne(TableImplementations, relstore.Eq("name", name))
+	db.cmu.RLock()
+	p := db.impls[name]
+	db.cmu.RUnlock()
+	if p != nil {
+		return p.copyOut(), nil
+	}
+	row, err := db.store.Get(TableImplementations, name)
 	if err != nil {
 		return Impl{}, fmt.Errorf("icdb: implementation %q: %w", name, err)
 	}
-	return rowImpl(row), nil
+	im := rowImpl(row)
+	db.noteImpl(im)
+	// noteImpl cached a struct copy sharing im's slices; hand the caller
+	// its own copy so mutating the result cannot corrupt the cache.
+	return im.copyOut(), nil
 }
 
 // Impls returns every registered implementation in insertion order.
@@ -319,7 +486,7 @@ func (db *DB) Impls() ([]Impl, error) {
 // ComponentFunctions reads the components relation: the function set
 // registered for component type ct.
 func (db *DB) ComponentFunctions(ct genus.ComponentType) ([]genus.Function, error) {
-	row, err := db.store.SelectOne(TableComponents, relstore.Eq("component", string(ct)))
+	row, err := db.store.Get(TableComponents, string(ct))
 	if err != nil {
 		return nil, fmt.Errorf("icdb: component %q: %w", ct, err)
 	}
@@ -335,15 +502,20 @@ func (db *DB) ComponentFunctions(ct genus.ComponentType) ([]genus.Function, erro
 // SetToolParam records a synthesis-tool parameter (the paper's tool
 // parameters relation, §3): e.g. ranking weights or per-tool defaults.
 func (db *DB) SetToolParam(tool, param string, value float64) error {
-	return db.store.Upsert(TableToolParams, relstore.Row{
+	if err := db.store.Upsert(TableToolParams, relstore.Row{
 		"tool": tool, "param": param, "value": value,
-	})
+	}); err != nil {
+		return err
+	}
+	db.cmu.Lock()
+	db.wOK = false
+	db.cmu.Unlock()
+	return nil
 }
 
 // ToolParam looks up a tool parameter; ok is false when unset.
 func (db *DB) ToolParam(tool, param string) (value float64, ok bool) {
-	row, err := db.store.SelectOne(TableToolParams,
-		relstore.And(relstore.Eq("tool", tool), relstore.Eq("param", param)))
+	row, err := db.store.Get(TableToolParams, tool, param)
 	if err != nil {
 		return 0, false
 	}

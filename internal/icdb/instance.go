@@ -74,22 +74,19 @@ func (db *DB) Instantiate(design, implName string, bindings map[string]int) (ins
 		}
 	}
 	key := BindingsKey(bindings)
-	pred := relstore.And(relstore.Eq("impl", implName), relstore.Eq("bindings", key))
 
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	rows, err := db.store.Select(TableInstances, pred)
-	if err != nil {
-		return Instance{}, false, err
-	}
-	if len(rows) > 0 {
+	// (impl, bindings) is the instances primary key, so both the reuse
+	// probe and the use-count bump are index point operations.
+	if r, err := db.store.Get(TableInstances, implName, key); err == nil {
+		pred := relstore.And(relstore.Eq("impl", implName), relstore.Eq("bindings", key))
 		if _, err := db.store.Update(TableInstances, pred, func(r relstore.Row) relstore.Row {
 			r["uses"] = asInt(r["uses"]) + 1
 			return r
 		}); err != nil {
 			return Instance{}, false, err
 		}
-		r := rows[0]
 		return Instance{
 			ID:       asInt(r["id"]),
 			Impl:     implName,
@@ -102,15 +99,14 @@ func (db *DB) Instantiate(design, implName string, bindings map[string]int) (ins
 	// once per DB handle), so they stay unique even if rows were deleted
 	// through the raw store.
 	if db.nextInstID == 0 {
-		all, err := db.store.Select(TableInstances, nil)
-		if err != nil {
-			return Instance{}, false, err
-		}
 		db.nextInstID = 1
-		for _, r := range all {
+		if err := db.store.Scan(TableInstances, nil, func(r relstore.Row) bool {
 			if v := asInt(r["id"]); v >= db.nextInstID {
 				db.nextInstID = v + 1
 			}
+			return true
+		}); err != nil {
+			return Instance{}, false, err
 		}
 	}
 	id := db.nextInstID

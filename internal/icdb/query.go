@@ -24,6 +24,15 @@ type Constraint struct {
 // String returns the constraint's source form, for diagnostics.
 func (c Constraint) String() string { return c.src }
 
+// Accept reports whether attribute environment a satisfies the
+// constraint. The zero Constraint accepts everything.
+func (c Constraint) Accept(a Attrs) (bool, error) {
+	if c.pass == nil {
+		return true, nil
+	}
+	return c.pass(a)
+}
+
 // Where compiles an attribute expression such as
 // "width_min <= 8 && area <= 10" into a constraint. The expression is
 // parsed with iif.ParseExpr and evaluated with C semantics over the
@@ -195,8 +204,17 @@ type Candidate struct {
 }
 
 // rankWeights reads the ranking weights from the tool-parameters
-// relation.
+// relation. They are cached on the DB and refreshed after SetToolParam,
+// so a query pays for at most one tool-parameter read, not one per
+// candidate or per call.
 func (db *DB) rankWeights() (wa, wd float64) {
+	db.cmu.RLock()
+	if db.wOK {
+		wa, wd = db.wa, db.wd
+		db.cmu.RUnlock()
+		return wa, wd
+	}
+	db.cmu.RUnlock()
 	wa, wd = 1, 1
 	if v, ok := db.ToolParam("icdb", "area_weight"); ok {
 		wa = v
@@ -204,6 +222,9 @@ func (db *DB) rankWeights() (wa, wd float64) {
 	if v, ok := db.ToolParam("icdb", "delay_weight"); ok {
 		wd = v
 	}
+	db.cmu.Lock()
+	db.wa, db.wd, db.wOK = wa, wd, true
+	db.cmu.Unlock()
 	return wa, wd
 }
 
@@ -216,8 +237,23 @@ func (db *DB) QueryByFunction(fn genus.Function, cs ...Constraint) ([]Candidate,
 
 // QueryByFunctions returns implementations that execute every function in
 // fns (the merged-component query of §4.1: COUNTER+STORAGE finds
-// counters but not pure incrementers), ranked by cost.
+// counters but not pure incrementers), ranked by cost. Candidates come
+// from intersecting the function inverted index's posting lists, not
+// from scanning the implementations relation.
 func (db *DB) QueryByFunctions(fns []genus.Function, cs ...Constraint) ([]Candidate, error) {
+	return db.QueryByFunctionsTopK(fns, 0, cs...)
+}
+
+// QueryByFunctionTopK is QueryByFunction bounded to the k cheapest
+// candidates (k <= 0 means unbounded). Bounded queries rank with a
+// fixed-size heap instead of sorting every match.
+func (db *DB) QueryByFunctionTopK(fn genus.Function, k int, cs ...Constraint) ([]Candidate, error) {
+	return db.QueryByFunctionsTopK([]genus.Function{fn}, k, cs...)
+}
+
+// QueryByFunctionsTopK is QueryByFunctions bounded to the k cheapest
+// candidates (k <= 0 means unbounded).
+func (db *DB) QueryByFunctionsTopK(fns []genus.Function, k int, cs ...Constraint) ([]Candidate, error) {
 	if len(fns) == 0 {
 		return nil, fmt.Errorf("icdb: query with no functions")
 	}
@@ -229,59 +265,107 @@ func (db *DB) QueryByFunctions(fns []genus.Function, cs ...Constraint) ([]Candid
 		}
 		want = append(want, nf)
 	}
-	return db.query(func(im Impl) bool {
-		has := make(map[genus.Function]bool, len(im.Functions))
-		for _, f := range im.Functions {
-			has[f] = true
-		}
-		for _, f := range want {
-			if !has[f] {
-				return false
+	// Intersect posting lists smallest-first: iterate the rarest
+	// function's postings and keep implementations present in all others.
+	// Cached *Impl values are never mutated in place (re-registration
+	// swaps pointers), so ranking may use them after the lock is
+	// released.
+	var cands []*Impl
+	err := db.withIndexes(func() {
+		posts := make([]map[string]*Impl, len(want))
+		smallest := 0
+		for i, f := range want {
+			posts[i] = db.byFn[f]
+			if len(posts[i]) < len(posts[smallest]) {
+				smallest = i
 			}
 		}
-		return true
-	}, cs)
+		if len(posts[smallest]) > 0 {
+			cands = make([]*Impl, 0, len(posts[smallest]))
+		}
+	outer:
+		for name, im := range posts[smallest] {
+			for i, post := range posts {
+				if i == smallest {
+					continue
+				}
+				if _, ok := post[name]; !ok {
+					continue outer
+				}
+			}
+			cands = append(cands, im)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return db.rank(cands, cs, k)
 }
 
 // QueryByComponent returns the ranked implementations of one component
-// type.
+// type, served from the component inverted index.
 func (db *DB) QueryByComponent(ct genus.ComponentType, cs ...Constraint) ([]Candidate, error) {
+	return db.QueryByComponentTopK(ct, 0, cs...)
+}
+
+// QueryByComponentTopK is QueryByComponent bounded to the k cheapest
+// candidates (k <= 0 means unbounded).
+func (db *DB) QueryByComponentTopK(ct genus.ComponentType, k int, cs ...Constraint) ([]Candidate, error) {
 	nct, ok := genus.NormalizeComponentType(string(ct))
 	if !ok {
 		return nil, fmt.Errorf("icdb: unknown component type %q", ct)
 	}
-	return db.query(func(im Impl) bool { return im.Component == nct }, cs)
-}
-
-func (db *DB) query(match func(Impl) bool, cs []Constraint) ([]Candidate, error) {
-	impls, err := db.Impls()
+	var cands []*Impl
+	err := db.withIndexes(func() {
+		post := db.byCt[nct]
+		if len(post) > 0 {
+			cands = make([]*Impl, 0, len(post))
+		}
+		for _, im := range post {
+			cands = append(cands, im)
+		}
+	})
 	if err != nil {
 		return nil, err
 	}
+	return db.rank(cands, cs, k)
+}
+
+// rank filters cands through the constraints, scores survivors, and
+// returns them cheapest-first (ties broken by name). With k > 0 it keeps
+// a worst-on-top heap of k entries so an unbounded result set is never
+// materialized or fully sorted.
+func (db *DB) rank(cands []*Impl, cs []Constraint, k int) ([]Candidate, error) {
 	wa, wd := db.rankWeights()
 	var out []Candidate
-	for _, im := range impls {
-		if !match(im) {
-			continue
-		}
-		ok := true
-		for _, c := range cs {
-			pass, err := c.pass(im.Attrs())
-			if err != nil {
-				return nil, err
+	h := candHeap{limit: k}
+	for _, im := range cands {
+		if len(cs) > 0 {
+			attrs := im.Attrs()
+			ok := true
+			for _, c := range cs {
+				pass, err := c.Accept(attrs)
+				if err != nil {
+					return nil, err
+				}
+				if !pass {
+					ok = false
+					break
+				}
 			}
-			if !pass {
-				ok = false
-				break
+			if !ok {
+				continue
 			}
 		}
-		if !ok {
-			continue
+		cost := im.Area*wa + im.Delay*wd
+		if k > 0 {
+			h.offer(im, cost)
+		} else {
+			out = append(out, Candidate{Impl: im.copyOut(), Cost: cost})
 		}
-		out = append(out, Candidate{
-			Impl: im,
-			Cost: im.Area*wa + im.Delay*wd,
-		})
+	}
+	if k > 0 {
+		out = h.take()
 	}
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Cost != out[j].Cost {
@@ -290,4 +374,76 @@ func (db *DB) query(match func(Impl) bool, cs []Constraint) ([]Candidate, error)
 		return out[i].Impl.Name < out[j].Impl.Name
 	})
 	return out, nil
+}
+
+// candHeap is a bounded worst-on-top heap over (cost, name): the root is
+// the worst candidate retained, so a better offer evicts it in O(log k).
+type candHeap struct {
+	limit int
+	items []heapItem
+}
+
+type heapItem struct {
+	im   *Impl
+	cost float64
+}
+
+// worse reports whether a ranks strictly after b (higher cost, name as
+// tie-break — the exact inverse of the final result order).
+func worse(a, b heapItem) bool {
+	if a.cost != b.cost {
+		return a.cost > b.cost
+	}
+	return a.im.Name > b.im.Name
+}
+
+func (h *candHeap) offer(im *Impl, cost float64) {
+	it := heapItem{im: im, cost: cost}
+	if len(h.items) < h.limit {
+		h.items = append(h.items, it)
+		h.up(len(h.items) - 1)
+		return
+	}
+	if !worse(h.items[0], it) {
+		return
+	}
+	h.items[0] = it
+	h.down(0)
+}
+
+func (h *candHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !worse(h.items[i], h.items[parent]) {
+			return
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *candHeap) down(i int) {
+	for {
+		worst := i
+		for _, c := range []int{2*i + 1, 2*i + 2} {
+			if c < len(h.items) && worse(h.items[c], h.items[worst]) {
+				worst = c
+			}
+		}
+		if worst == i {
+			return
+		}
+		h.items[i], h.items[worst] = h.items[worst], h.items[i]
+		i = worst
+	}
+}
+
+// take drains the heap into candidates (unordered; the caller sorts).
+func (h *candHeap) take() []Candidate {
+	out := make([]Candidate, len(h.items))
+	for i, it := range h.items {
+		out[i] = Candidate{Impl: it.im.copyOut(), Cost: it.cost}
+	}
+	h.items = nil
+	return out
 }

@@ -1,0 +1,158 @@
+package relstore
+
+import "math"
+
+// The query planner. Given a predicate, plan extracts its Eq-on-column
+// conjuncts and picks the cheapest access path:
+//
+//  1. primary-key point lookup, when the Eq conjuncts cover every key
+//     column (at most one candidate row);
+//  2. a secondary-index posting list, when they cover all columns of a
+//     declared index (the index over the most columns wins);
+//  3. the full insertion-ordered scan otherwise.
+//
+// Every Eq conjunct of a predicate is a necessary condition for a match,
+// so narrowing candidates through an index is always sound — even when
+// the predicate also contains planner-opaque parts (Func) or extra
+// conjuncts. In those partial cases the plan asks the caller to re-verify
+// the full predicate against each candidate; when the conjuncts are the
+// whole predicate and exactly cover the chosen index, verification is
+// skipped entirely.
+
+// eqBindings walks p collecting its Eq conjuncts into out (column ->
+// queried value). The return value reports whether p is *exactly* the
+// conjunction of those bindings; it is false when p contains a Func, a
+// non-conjunctive shape, or two Eqs on one column with different values
+// (the first value is kept — candidates narrowed by it are then rejected
+// by full-predicate verification, which is what the contradictory
+// predicate requires).
+func eqBindings(p Pred, out map[string]any) bool {
+	switch q := p.(type) {
+	case EqPred:
+		if old, seen := out[q.Col]; seen {
+			return valueEqual(old, q.Val)
+		}
+		out[q.Col] = q.Val
+		return true
+	case AndPred:
+		exact := true
+		for _, c := range q.Preds {
+			if c == nil {
+				continue
+			}
+			if !eqBindings(c, out) {
+				exact = false
+			}
+		}
+		return exact
+	}
+	return false
+}
+
+// covers reports whether eqs binds every column in cols.
+func covers(eqs map[string]any, cols []string) bool {
+	for _, c := range cols {
+		if _, ok := eqs[c]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// plan returns the candidate rowids for predicate p, in insertion order,
+// and whether the caller must still verify p against each candidate. The
+// returned slice is internal state: callers iterate it under the store
+// lock and must copy it before mutating the table.
+func (t *table) plan(p Pred) (ids []int64, verify bool) {
+	if p == nil {
+		return t.ids, false
+	}
+	eqs := make(map[string]any)
+	exact := eqBindings(p, eqs)
+	if len(eqs) > 0 {
+		if len(t.schema.Key) > 0 && covers(eqs, t.schema.Key) {
+			verify = !exact || len(eqs) != len(t.schema.Key)
+			k, sat := t.joinVals(t.schema.Key, eqs)
+			if !sat {
+				return nil, false
+			}
+			if id, ok := t.keyIndex[k]; ok {
+				return []int64{id}, verify
+			}
+			return nil, false
+		}
+		best := -1
+		for i, ix := range t.indexes {
+			if covers(eqs, ix.cols) && (best < 0 || len(ix.cols) > len(t.indexes[best].cols)) {
+				best = i
+			}
+		}
+		if best >= 0 {
+			ix := t.indexes[best]
+			verify = !exact || len(eqs) != len(ix.cols)
+			k, sat := t.joinVals(ix.cols, eqs)
+			if !sat {
+				return nil, false
+			}
+			return ix.postings[k], verify
+		}
+	}
+	return t.ids, true
+}
+
+// canonMatchesCol reports whether a canonicalized query value has the
+// column's canonical stored type. A mismatch (string queried against an
+// int column, non-integral float against TInt, ...) can equal no stored
+// value, but its %v rendering could collide with a stored key ("5" vs
+// 5), so the planner must treat it as unsatisfiable rather than build a
+// key from it.
+func canonMatchesCol(ct ColType, v any) bool {
+	switch ct {
+	case TString:
+		_, ok := v.(string)
+		return ok
+	case TInt:
+		_, ok := v.(int)
+		return ok
+	case TFloat:
+		// NaN never equals any stored value under valueEqual, but its %v
+		// rendering would match a stored NaN's key — unsatisfiable.
+		f, ok := v.(float64)
+		return ok && !math.IsNaN(f)
+	case TBool:
+		_, ok := v.(bool)
+		return ok
+	}
+	return false
+}
+
+// canonVal normalizes a queried value to the column's canonical stored
+// type (see table.canon), so index key strings built from query values
+// line up with those built from stored rows.
+func canonVal(ct ColType, v any) any {
+	switch ct {
+	case TInt:
+		switch x := v.(type) {
+		case int64:
+			return int(x)
+		case float64:
+			if x == math.Trunc(x) {
+				return int(x)
+			}
+		case float32:
+			if f := float64(x); f == math.Trunc(f) {
+				return int(f)
+			}
+		}
+	case TFloat:
+		switch x := v.(type) {
+		case int:
+			return float64(x)
+		case int64:
+			return float64(x)
+		case float32:
+			return float64(x)
+		}
+	}
+	return v
+}

@@ -1,0 +1,81 @@
+package relstore
+
+// Pred is a selection predicate. The concrete predicate types built by Eq
+// and And are plain inspectable structs so the query planner (plan.go) can
+// recognize index-shaped predicates and skip the table scan; an arbitrary
+// function becomes a (planner-opaque) predicate via Func. A nil Pred
+// matches every row.
+type Pred interface {
+	Match(Row) bool
+}
+
+// EqPred matches rows whose column Col equals Val (with numeric types
+// normalized, so Eq("size", 5) matches a stored float64 after a JSON
+// round-trip). The planner serves Eq predicates over key or indexed
+// columns from the corresponding index.
+type EqPred struct {
+	Col string
+	Val any
+}
+
+// Match reports whether r's Col equals Val.
+func (p EqPred) Match(r Row) bool { return valueEqual(r[p.Col], p.Val) }
+
+// AndPred is the conjunction of Preds. An empty conjunction matches
+// everything.
+type AndPred struct {
+	Preds []Pred
+}
+
+// Match reports whether every conjunct matches r.
+func (p AndPred) Match(r Row) bool {
+	for _, q := range p.Preds {
+		if q != nil && !q.Match(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// Func adapts an arbitrary function to a Pred. The planner cannot see
+// inside a Func, so predicates built only from Func always scan; combine
+// Func with Eq under And to keep index access on the Eq part.
+type Func func(Row) bool
+
+// Match invokes the wrapped function.
+func (f Func) Match(r Row) bool { return f(r) }
+
+// Eq returns a predicate matching rows whose column col equals v.
+func Eq(col string, v any) Pred {
+	return EqPred{Col: col, Val: v}
+}
+
+// And combines predicates conjunctively.
+func And(ps ...Pred) Pred {
+	return AndPred{Preds: ps}
+}
+
+func valueEqual(a, b any) bool {
+	// Normalize numeric types so Eq("size", 5) matches a stored int64
+	// after JSON round-trips.
+	af, aok := toFloat(a)
+	bf, bok := toFloat(b)
+	if aok && bok {
+		return af == bf
+	}
+	return a == b
+}
+
+func toFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case int:
+		return float64(x), true
+	case int64:
+		return float64(x), true
+	case float64:
+		return x, true
+	case float32:
+		return float64(x), true
+	}
+	return 0, false
+}

@@ -6,12 +6,47 @@
 // insert/update/delete, and persistence; this package provides exactly
 // that with no external dependencies. Rows are schemaful: every value must
 // match the declared column type.
+//
+// # Indexes and the query planner
+//
+// Reads are served through a small planner (plan.go) rather than an
+// unconditional table scan. Three access paths exist:
+//
+//   - the primary-key index, a unique map from the key columns' values to
+//     a rowid, maintained for every table whose Schema declares a Key;
+//   - secondary indexes, non-unique posting lists from a column tuple to
+//     the rowids holding each value combination, declared up front via
+//     Schema.Indexes or added later with CreateIndex;
+//   - the full scan over the insertion-ordered rowid slice.
+//
+// Select, SelectOne, Count, Update, Delete, and Scan all consult the
+// planner: a predicate whose Eq conjuncts cover the key or an index is
+// answered from that index (plus residual verification when the
+// predicate has planner-opaque parts), and Get is a direct point lookup
+// that never scans. Scan visits rows without copying them, for read-only
+// consumers that decode rather than retain.
+//
+// Invariants the index machinery maintains (and tests assert):
+//
+//   - every live rowid appears exactly once in the table's ordered id
+//     slice, which is strictly ascending — rowids are allocated
+//     monotonically, so ascending order IS insertion order, and no
+//     operation ever re-sorts it;
+//   - a row replaced by Upsert or Update keeps its rowid, and therefore
+//     its position in scan order;
+//   - each secondary-index posting list holds exactly the live rowids
+//     whose rows currently carry the indexed values, ascending, with no
+//     empty posting lists retained;
+//   - index keys are built from canonicalized values (table.canon /
+//     canonVal), so a lookup matches no matter which numeric Go type the
+//     caller or a JSON round-trip produced.
 package relstore
 
 import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -48,13 +83,23 @@ type Column struct {
 	Type ColType
 }
 
-// Schema declares a table: its name, columns, and primary-key columns.
+// Index declares a secondary index over a tuple of columns. Secondary
+// indexes are non-unique: many rows may share one value combination.
+type Index struct {
+	Columns []string
+}
+
+// Schema declares a table: its name, columns, primary-key columns, and
+// secondary indexes.
 type Schema struct {
 	Table   string
 	Columns []Column
 	// Key lists the column names forming the primary key. Empty means the
 	// table has no uniqueness constraint (rows get hidden rowids).
 	Key []string
+	// Indexes declares secondary indexes to maintain from creation on.
+	// More can be added to a live table with Store.CreateIndex.
+	Indexes []Index `json:",omitempty"`
 }
 
 // Row is a single record keyed by column name.
@@ -69,57 +114,24 @@ func (r Row) clone() Row {
 	return c
 }
 
-// Pred is a selection predicate.
-type Pred func(Row) bool
-
-// Eq returns a predicate matching rows whose column col equals v.
-func Eq(col string, v any) Pred {
-	return func(r Row) bool { return valueEqual(r[col], v) }
-}
-
-// And combines predicates conjunctively.
-func And(ps ...Pred) Pred {
-	return func(r Row) bool {
-		for _, p := range ps {
-			if !p(r) {
-				return false
-			}
-		}
-		return true
-	}
-}
-
-func valueEqual(a, b any) bool {
-	// Normalize numeric types so Eq("size", 5) matches a stored int64
-	// after JSON round-trips.
-	af, aok := toFloat(a)
-	bf, bok := toFloat(b)
-	if aok && bok {
-		return af == bf
-	}
-	return a == b
-}
-
-func toFloat(v any) (float64, bool) {
-	switch x := v.(type) {
-	case int:
-		return float64(x), true
-	case int64:
-		return float64(x), true
-	case float64:
-		return x, true
-	case float32:
-		return float64(x), true
-	}
-	return 0, false
+// secIndex is one secondary index: posting lists of ascending rowids per
+// indexed value combination.
+type secIndex struct {
+	cols     []string
+	postings map[string][]int64
 }
 
 type table struct {
 	schema Schema
-	rows   map[int64]Row // rowid -> row
+	cols   map[string]ColType // column name -> declared type
+	rows   map[int64]Row      // rowid -> row
+	// ids holds the live rowids in ascending (= insertion) order. It is
+	// maintained incrementally: append on insert, splice on delete.
+	ids    []int64
 	nextID int64
 	// keyIndex maps primary-key string to rowid when schema.Key is set.
 	keyIndex map[string]int64
+	indexes  []*secIndex
 }
 
 // Store is a set of named tables. All methods are safe for concurrent use.
@@ -134,8 +146,8 @@ func New() *Store {
 }
 
 // CreateTable registers a new table. It fails if the table exists, the
-// schema has no columns, duplicate column names, or key columns that are
-// not declared.
+// schema has no columns, duplicate column names, key columns that are
+// not declared, or malformed secondary-index declarations.
 func (s *Store) CreateTable(sc Schema) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -160,11 +172,69 @@ func (s *Store) CreateTable(sc Schema) error {
 			return fmt.Errorf("relstore: table %q key column %q not declared", sc.Table, k)
 		}
 	}
-	s.tables[sc.Table] = &table{
+	t := &table{
 		schema:   sc,
+		cols:     cols,
 		rows:     make(map[int64]Row),
 		keyIndex: make(map[string]int64),
 	}
+	for _, ix := range sc.Indexes {
+		if err := t.addIndex(ix.Columns); err != nil {
+			return err
+		}
+	}
+	s.tables[sc.Table] = t
+	return nil
+}
+
+// addIndex validates and attaches one secondary index (empty, the caller
+// backfills when the table already has rows).
+func (t *table) addIndex(cols []string) error {
+	if len(cols) == 0 {
+		return fmt.Errorf("relstore: table %q: index over no columns", t.schema.Table)
+	}
+	seen := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		if _, ok := t.cols[c]; !ok {
+			return fmt.Errorf("relstore: table %q index column %q not declared", t.schema.Table, c)
+		}
+		if seen[c] {
+			return fmt.Errorf("relstore: table %q index repeats column %q", t.schema.Table, c)
+		}
+		seen[c] = true
+	}
+	for _, ix := range t.indexes {
+		if slices.Equal(ix.cols, cols) {
+			return fmt.Errorf("relstore: table %q already has an index on %v", t.schema.Table, cols)
+		}
+	}
+	t.indexes = append(t.indexes, &secIndex{
+		cols:     append([]string(nil), cols...),
+		postings: make(map[string][]int64),
+	})
+	return nil
+}
+
+// CreateIndex adds a secondary index over cols to a live table, indexing
+// every existing row. The planner uses it for any predicate whose Eq
+// conjuncts cover all of cols.
+func (s *Store) CreateIndex(tableName string, cols ...string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[tableName]
+	if !ok {
+		return fmt.Errorf("relstore: no table %q", tableName)
+	}
+	if err := t.addIndex(cols); err != nil {
+		return err
+	}
+	ix := t.indexes[len(t.indexes)-1]
+	for _, id := range t.ids {
+		k := t.joinRow(ix.cols, t.rows[id])
+		ix.postings[k] = append(ix.postings[k], id)
+	}
+	// Record the index in the schema so Save/Load round-trips rebuild it.
+	t.schema.Indexes = append(t.schema.Indexes, Index{Columns: append([]string(nil), cols...)})
 	return nil
 }
 
@@ -213,14 +283,7 @@ func (t *table) checkRow(r Row) error {
 		}
 	}
 	for k := range r {
-		found := false
-		for _, c := range t.schema.Columns {
-			if c.Name == k {
-				found = true
-				break
-			}
-		}
-		if !found {
+		if _, ok := t.cols[k]; !ok {
 			return fmt.Errorf("relstore: table %q has no column %q", t.schema.Table, k)
 		}
 	}
@@ -279,15 +342,94 @@ func (t *table) canon(r Row) Row {
 	return c
 }
 
+// renderKeyPart renders one canonical column value for use in a joined
+// key string. String values have NUL and backslash escaped so the
+// part-separator (NUL) cannot occur inside a part — the encoding is
+// injective, which the verify-free fast paths (Get, exact-cover plans)
+// rely on. Non-string canonical values (int, float64, bool) never render
+// either byte.
+func renderKeyPart(v any) string {
+	if s, ok := v.(string); ok {
+		if strings.ContainsAny(s, "\x00\\") {
+			s = strings.ReplaceAll(s, `\`, `\\`)
+			s = strings.ReplaceAll(s, "\x00", `\0`)
+		}
+		return s
+	}
+	return fmt.Sprintf("%v", v)
+}
+
+// joinRow builds the index-key string for cols from an already-canonical
+// stored row.
+func (t *table) joinRow(cols []string, r Row) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = renderKeyPart(r[c])
+	}
+	return strings.Join(parts, "\x00")
+}
+
+// joinVals builds the index-key string for cols from queried values,
+// canonicalizing each so it lines up with stored rows. sat is false when
+// a value cannot possibly equal any stored value of its column's type
+// (so no key should be probed at all — see canonMatchesCol).
+func (t *table) joinVals(cols []string, vals map[string]any) (key string, sat bool) {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		cv := canonVal(t.cols[c], vals[c])
+		if !canonMatchesCol(t.cols[c], cv) {
+			return "", false
+		}
+		parts[i] = renderKeyPart(cv)
+	}
+	return strings.Join(parts, "\x00"), true
+}
+
 func (t *table) keyOf(r Row) string {
 	if len(t.schema.Key) == 0 {
 		return ""
 	}
-	parts := make([]string, len(t.schema.Key))
-	for i, k := range t.schema.Key {
-		parts[i] = fmt.Sprintf("%v", r[k])
+	return t.joinRow(t.schema.Key, r)
+}
+
+// insertSorted splices id into ascending slice s (O(1) when id is the
+// largest, the insert-path common case).
+func insertSorted(s []int64, id int64) []int64 {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = id
+	return s
+}
+
+// removeSorted splices id out of ascending slice s.
+func removeSorted(s []int64, id int64) []int64 {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= id })
+	if i < len(s) && s[i] == id {
+		return append(s[:i], s[i+1:]...)
 	}
-	return strings.Join(parts, "\x00")
+	return s
+}
+
+// indexAdd registers (id, r) in every secondary index.
+func (t *table) indexAdd(id int64, r Row) {
+	for _, ix := range t.indexes {
+		k := t.joinRow(ix.cols, r)
+		ix.postings[k] = insertSorted(ix.postings[k], id)
+	}
+}
+
+// indexRemove drops (id, r) from every secondary index, releasing empty
+// posting lists.
+func (t *table) indexRemove(id int64, r Row) {
+	for _, ix := range t.indexes {
+		k := t.joinRow(ix.cols, r)
+		if p := removeSorted(ix.postings[k], id); len(p) > 0 {
+			ix.postings[k] = p
+		} else {
+			delete(ix.postings, k)
+		}
+	}
 }
 
 // Insert adds a row. It fails on schema violations or primary-key
@@ -314,12 +456,15 @@ func (s *Store) Insert(tableName string, r Row) error {
 		t.keyIndex[k] = t.nextID
 	}
 	t.rows[t.nextID] = cr
+	t.ids = append(t.ids, t.nextID)
+	t.indexAdd(t.nextID, cr)
 	t.nextID++
 	return nil
 }
 
 // Upsert inserts r, replacing any existing row with the same primary key.
-// The table must declare a key.
+// A replaced row keeps its rowid, and so its position in scan order. The
+// table must declare a key.
 func (s *Store) Upsert(tableName string, r Row) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -336,17 +481,22 @@ func (s *Store) Upsert(tableName string, r Row) error {
 	cr := t.canon(r)
 	k := t.keyOf(cr)
 	if id, exists := t.keyIndex[k]; exists {
+		t.indexRemove(id, t.rows[id])
 		t.rows[id] = cr
+		t.indexAdd(id, cr)
 		return nil
 	}
 	t.keyIndex[k] = t.nextID
 	t.rows[t.nextID] = cr
+	t.ids = append(t.ids, t.nextID)
+	t.indexAdd(t.nextID, cr)
 	t.nextID++
 	return nil
 }
 
 // Select returns copies of all rows of tableName matching p (nil p matches
-// everything), in insertion order.
+// everything), in insertion order. Point and indexed predicates (see the
+// package comment) are served from the corresponding index.
 func (s *Store) Select(tableName string, p Pred) ([]Row, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -354,15 +504,11 @@ func (s *Store) Select(tableName string, p Pred) ([]Row, error) {
 	if !ok {
 		return nil, fmt.Errorf("relstore: no table %q", tableName)
 	}
-	ids := make([]int64, 0, len(t.rows))
-	for id := range t.rows {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ids, verify := t.plan(p)
 	var out []Row
 	for _, id := range ids {
 		r := t.rows[id]
-		if p == nil || p(r) {
+		if !verify || p.Match(r) {
 			out = append(out, r.clone())
 		}
 	}
@@ -372,24 +518,96 @@ func (s *Store) Select(tableName string, p Pred) ([]Row, error) {
 // SelectOne returns the single row matching p. It fails if zero or more
 // than one row matches.
 func (s *Store) SelectOne(tableName string, p Pred) (Row, error) {
-	rows, err := s.Select(tableName, p)
-	if err != nil {
-		return nil, err
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[tableName]
+	if !ok {
+		return nil, fmt.Errorf("relstore: no table %q", tableName)
 	}
-	switch len(rows) {
+	ids, verify := t.plan(p)
+	var match Row
+	n := 0
+	for _, id := range ids {
+		r := t.rows[id]
+		if !verify || p.Match(r) {
+			if n == 0 {
+				match = r
+			}
+			n++
+		}
+	}
+	switch n {
 	case 0:
 		return nil, fmt.Errorf("relstore: table %q: no matching row", tableName)
 	case 1:
-		return rows[0], nil
+		return match.clone(), nil
 	default:
-		return nil, fmt.Errorf("relstore: table %q: %d rows match, want 1", tableName, len(rows))
+		return nil, fmt.Errorf("relstore: table %q: %d rows match, want 1", tableName, n)
 	}
+}
+
+// Get is the point-lookup fast path: it returns a copy of the single row
+// of a keyed table whose primary-key columns equal keyVals (in Schema.Key
+// order), without scanning. Numeric key values are matched canonically,
+// like Eq.
+func (s *Store) Get(tableName string, keyVals ...any) (Row, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[tableName]
+	if !ok {
+		return nil, fmt.Errorf("relstore: no table %q", tableName)
+	}
+	if len(t.schema.Key) == 0 {
+		return nil, fmt.Errorf("relstore: table %q has no key; cannot Get", tableName)
+	}
+	if len(keyVals) != len(t.schema.Key) {
+		return nil, fmt.Errorf("relstore: table %q: Get got %d key value(s), want %v", tableName, len(keyVals), t.schema.Key)
+	}
+	parts := make([]string, len(keyVals))
+	for i, kc := range t.schema.Key {
+		cv := canonVal(t.cols[kc], keyVals[i])
+		if !canonMatchesCol(t.cols[kc], cv) {
+			return nil, fmt.Errorf("relstore: table %q: no matching row", tableName)
+		}
+		parts[i] = renderKeyPart(cv)
+	}
+	id, ok := t.keyIndex[strings.Join(parts, "\x00")]
+	if !ok {
+		return nil, fmt.Errorf("relstore: table %q: no matching row", tableName)
+	}
+	return t.rows[id].clone(), nil
+}
+
+// Scan visits the rows of tableName matching p in insertion order,
+// stopping early when visit returns false. It is the zero-copy read path:
+// visit receives the store's internal row, so it must treat the row as
+// read-only and must not retain it (or any contained reference) after
+// returning — copy what outlives the visit. visit must not call back
+// into the Store: the table lock is held for the whole scan.
+func (s *Store) Scan(tableName string, p Pred, visit func(Row) bool) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[tableName]
+	if !ok {
+		return fmt.Errorf("relstore: no table %q", tableName)
+	}
+	ids, verify := t.plan(p)
+	for _, id := range ids {
+		r := t.rows[id]
+		if !verify || p.Match(r) {
+			if !visit(r) {
+				return nil
+			}
+		}
+	}
+	return nil
 }
 
 // Update applies fn to every row matching p (in insertion order) and
 // returns the number of rows changed. fn receives a copy and returns the
 // replacement row. Update is atomic: a schema violation or key conflict
-// leaves the table unmodified.
+// leaves the table unmodified. Updated rows keep their rowids (and scan
+// positions); all indexes are maintained.
 func (s *Store) Update(tableName string, p Pred, fn func(Row) Row) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -397,11 +615,7 @@ func (s *Store) Update(tableName string, p Pred, fn func(Row) Row) (int, error) 
 	if !ok {
 		return 0, fmt.Errorf("relstore: no table %q", tableName)
 	}
-	ids := make([]int64, 0, len(t.rows))
-	for id := range t.rows {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ids, verify := t.plan(p)
 	// Validate every change against a scratch key index before applying
 	// anything, so a mid-scan conflict cannot leave partial updates.
 	type change struct {
@@ -411,7 +625,7 @@ func (s *Store) Update(tableName string, p Pred, fn func(Row) Row) (int, error) 
 	var changes []change
 	for _, id := range ids {
 		r := t.rows[id]
-		if p != nil && !p(r) {
+		if verify && !p.Match(r) {
 			continue
 		}
 		nr := fn(r.clone())
@@ -441,7 +655,9 @@ func (s *Store) Update(tableName string, p Pred, fn func(Row) Row) (int, error) 
 		}
 	}
 	for _, c := range changes {
+		t.indexRemove(c.id, t.rows[c.id])
 		t.rows[c.id] = c.nr
+		t.indexAdd(c.id, c.nr)
 	}
 	t.keyIndex = newKeys
 	return len(changes), nil
@@ -452,7 +668,9 @@ func keyValues(k string) string {
 	return strings.ReplaceAll(k, "\x00", ",")
 }
 
-// Delete removes all rows matching p and returns the count removed.
+// Delete removes all rows matching p and returns the count removed. Like
+// the other readers it narrows candidates through the planner, so a
+// Delete by key or indexed columns touches only the matching rows.
 func (s *Store) Delete(tableName string, p Pred) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -460,24 +678,52 @@ func (s *Store) Delete(tableName string, p Pred) (int, error) {
 	if !ok {
 		return 0, fmt.Errorf("relstore: no table %q", tableName)
 	}
+	ids, verify := t.plan(p)
+	// The plan may alias internal index state; copy before mutating it.
+	candidates := append([]int64(nil), ids...)
+	removed := make(map[int64]bool)
+	for _, id := range candidates {
+		r := t.rows[id]
+		if verify && !p.Match(r) {
+			continue
+		}
+		delete(t.keyIndex, t.keyOf(r))
+		t.indexRemove(id, r)
+		delete(t.rows, id)
+		removed[id] = true
+	}
+	if len(removed) > 0 {
+		live := t.ids[:0]
+		for _, id := range t.ids {
+			if !removed[id] {
+				live = append(live, id)
+			}
+		}
+		t.ids = live
+	}
+	return len(removed), nil
+}
+
+// Count returns the number of rows matching p. It plans and verifies like
+// Select but never copies a row.
+func (s *Store) Count(tableName string, p Pred) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[tableName]
+	if !ok {
+		return 0, fmt.Errorf("relstore: no table %q", tableName)
+	}
+	ids, verify := t.plan(p)
+	if !verify {
+		return len(ids), nil
+	}
 	n := 0
-	for id, r := range t.rows {
-		if p == nil || p(r) {
-			delete(t.keyIndex, t.keyOf(r))
-			delete(t.rows, id)
+	for _, id := range ids {
+		if p.Match(t.rows[id]) {
 			n++
 		}
 	}
 	return n, nil
-}
-
-// Count returns the number of rows matching p.
-func (s *Store) Count(tableName string, p Pred) (int, error) {
-	rows, err := s.Select(tableName, p)
-	if err != nil {
-		return 0, err
-	}
-	return len(rows), nil
 }
 
 // persistedTable is the JSON wire form of one table.
@@ -486,19 +732,16 @@ type persistedTable struct {
 	Rows   []Row  `json:"rows"`
 }
 
-// Save writes the whole store as JSON to path.
+// Save writes the whole store as JSON to path. Rows are written in
+// insertion order; secondary-index declarations persist with the schema
+// and are rebuilt on Load.
 func (s *Store) Save(path string) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make(map[string]persistedTable, len(s.tables))
 	for name, t := range s.tables {
-		ids := make([]int64, 0, len(t.rows))
-		for id := range t.rows {
-			ids = append(ids, id)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 		pt := persistedTable{Schema: t.schema}
-		for _, id := range ids {
+		for _, id := range t.ids {
 			pt.Rows = append(pt.Rows, t.rows[id])
 		}
 		out[name] = pt

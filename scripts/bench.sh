@@ -1,0 +1,14 @@
+#!/bin/sh
+# bench.sh — run the ICDB benchmark harness and emit the BENCH_PR2.json
+# trajectory file at the repo root.
+#
+# Usage:
+#   scripts/bench.sh                 # default: 1k and 10k catalogs
+#   SIZES=1000 scripts/bench.sh      # CI smoke: small catalog only
+#   SIZES=1000,10000,100000 OUT=/tmp/bench.json scripts/bench.sh
+set -eu
+cd "$(dirname "$0")/.."
+SIZES="${SIZES:-1000,10000}"
+OUT="${OUT:-BENCH_PR2.json}"
+BENCHTIME="${BENCHTIME:-300ms}"
+exec go run ./cmd/icdbq bench -sizes "$SIZES" -out "$OUT" -benchtime "$BENCHTIME"
