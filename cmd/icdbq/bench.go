@@ -1,9 +1,11 @@
 // bench.go implements "icdbq bench": programmatic benchmarks of the ICDB
-// read path over synthetic catalogs, emitted as a JSON trajectory file
-// (BENCH_PR<N>.json) so performance is tracked commit over commit. Each
-// indexed measurement is paired with the in-tree full-scan reference
-// path (internal/benchgen), reproducing the before/after comparison on
-// whatever machine runs it.
+// read and persistence paths over synthetic catalogs, emitted as a JSON
+// trajectory file (BENCH_PR<N>.json) so performance is tracked commit
+// over commit. Each measurement is paired with its reference path —
+// indexed queries against the in-tree full-scan engine they replaced,
+// binary snapshot persistence against the JSON compat path, streamed
+// results against materialized ones — reproducing every before/after
+// comparison on whatever machine runs it.
 package main
 
 import (
@@ -24,16 +26,22 @@ import (
 	"icdb/internal/relstore"
 )
 
-// prePRBaseline pins the numbers measured on the pre-index read path
-// (commit 5f6c9fa, the state before the planner/index engine landed) on
-// the reference container (Intel Xeon @ 2.10GHz), for the same workload
-// the comparisons below run: QueryByFunction(ADD, MaxArea(50)) and
-// ImplByName over the benchgen catalog. The live fullscan_ns_per_op
-// numbers re-measure that path in-tree; this block records the actual
-// before-change measurement.
+// prePRBaseline pins numbers measured on earlier read/persistence paths
+// on the reference container (Intel Xeon @ 2.10GHz), so the trajectory
+// keeps the actual before-change measurements even after the slow paths
+// improve or disappear:
+//
+//   - query_by_function / impl_by_name: the pre-index engine
+//     (commit 5f6c9fa, before PR 2's planner and inverted indexes);
+//   - save_json / load_json and the round-trip alloc count: the
+//     whole-store JSON persistence measured in BENCH_PR2.json (commit
+//     7e2e007, before PR 3's binary snapshot format).
 var prePRBaseline = map[string]map[string]float64{
-	"query_by_function_ns_per_op": {"1000": 1995273, "10000": 22741848},
-	"impl_by_name_ns_per_op":      {"1000": 163993, "10000": 2492863},
+	"query_by_function_ns_per_op":   {"1000": 1995273, "10000": 22741848},
+	"impl_by_name_ns_per_op":        {"1000": 163993, "10000": 2492863},
+	"save_json_ns_per_op":           {"1000": 7565606, "10000": 81215169},
+	"load_json_ns_per_op":           {"1000": 10527788, "10000": 124847356},
+	"json_round_trip_allocs_per_op": {"1000": 77678, "10000": 766057},
 }
 
 type benchMeasure struct {
@@ -44,14 +52,18 @@ type benchMeasure struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
+// benchComparison pairs one measurement with the reference path it
+// replaced: Speedup and AllocRatio are baseline/new (bigger is better).
 type benchComparison struct {
 	Name            string  `json:"name"`
 	Size            int     `json:"size"`
-	IndexedNsPerOp  float64 `json:"indexed_ns_per_op"`
-	FullScanNsPerOp float64 `json:"fullscan_ns_per_op"`
+	Baseline        string  `json:"baseline"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	BaselineNsPerOp float64 `json:"baseline_ns_per_op"`
 	Speedup         float64 `json:"speedup"`
-	IndexedAllocs   int64   `json:"indexed_allocs_per_op"`
-	FullScanAllocs  int64   `json:"fullscan_allocs_per_op"`
+	AllocsPerOp     int64   `json:"allocs_per_op"`
+	BaselineAllocs  int64   `json:"baseline_allocs_per_op"`
+	AllocRatio      float64 `json:"alloc_ratio"`
 }
 
 type benchReport struct {
@@ -67,11 +79,27 @@ type benchReport struct {
 	Measurements  []benchMeasure                `json:"measurements"`
 }
 
+func compare(name string, size int, baseline string, now, was benchMeasure) benchComparison {
+	c := benchComparison{
+		Name: name, Size: size, Baseline: baseline,
+		NsPerOp: now.NsPerOp, BaselineNsPerOp: was.NsPerOp,
+		AllocsPerOp: now.AllocsPerOp, BaselineAllocs: was.AllocsPerOp,
+	}
+	if now.NsPerOp > 0 {
+		c.Speedup = was.NsPerOp / now.NsPerOp
+	}
+	if now.AllocsPerOp > 0 {
+		c.AllocRatio = float64(was.AllocsPerOp) / float64(now.AllocsPerOp)
+	}
+	return c
+}
+
 func runBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	sizesFlag := fs.String("sizes", "1000,10000", "comma-separated catalog sizes")
-	out := fs.String("out", "BENCH_PR2.json", "output JSON path")
+	out := fs.String("out", "BENCH_PR3.json", "output JSON path")
 	benchtime := fs.String("benchtime", "300ms", "per-benchmark measuring time")
+	guard := fs.Bool("guard", false, "fail unless LoadSnapshot beats JSON Load at the 10000 size")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -120,6 +148,8 @@ func runBench(args []string) error {
 	}
 	defer os.RemoveAll(tmp)
 
+	guardResults := map[string]benchMeasure{}
+
 	for _, n := range sizes {
 		fmt.Fprintf(os.Stderr, "building %d-implementation catalog...\n", n)
 		db, err := benchgen.NewDB(n)
@@ -130,6 +160,25 @@ func runBench(args []string) error {
 		// steady state.
 		if _, err := db.QueryByFunction(genus.FuncADD); err != nil {
 			return err
+		}
+		// Cross-validate the two result paths before timing them: the
+		// streamed query must yield exactly the materialized set.
+		mat, err := db.QueryByFunction(genus.FuncADD, icdb.MaxArea(50))
+		if err != nil {
+			return err
+		}
+		str, err := benchgen.StreamedQueryByFunction(db, genus.FuncADD, icdb.MaxArea(50))
+		if err != nil {
+			return err
+		}
+		if len(mat) != len(str) {
+			return fmt.Errorf("size %d: streamed query yielded %d candidates, materialized %d", n, len(str), len(mat))
+		}
+		for i := range mat {
+			if mat[i].Impl.Name != str[i].Impl.Name || mat[i].Cost != str[i].Cost {
+				return fmt.Errorf("size %d: streamed candidate %d = %s/%g, materialized %s/%g",
+					n, i, str[i].Impl.Name, str[i].Cost, mat[i].Impl.Name, mat[i].Cost)
+			}
 		}
 
 		qIdx := measure("query_by_function", n, func(b *testing.B) {
@@ -148,13 +197,19 @@ func runBench(args []string) error {
 				}
 			}
 		})
-		report.Comparisons = append(report.Comparisons, benchComparison{
-			Name: "query_by_function", Size: n,
-			IndexedNsPerOp: qIdx.NsPerOp, FullScanNsPerOp: qScan.NsPerOp,
-			Speedup:       qScan.NsPerOp / qIdx.NsPerOp,
-			IndexedAllocs: qIdx.AllocsPerOp, FullScanAllocs: qScan.AllocsPerOp,
+		qStream := measure("query_by_function_scan", n, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rows := 0
+				err := db.QueryByFunctionScan(genus.FuncADD, func(c icdb.Candidate) bool {
+					rows++
+					return true
+				}, icdb.MaxArea(50))
+				if err != nil || rows == 0 {
+					b.Fatal(err, rows)
+				}
+			}
 		})
-
 		lIdx := measure("impl_by_name", n, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -171,43 +226,78 @@ func runBench(args []string) error {
 				}
 			}
 		})
-		report.Comparisons = append(report.Comparisons, benchComparison{
-			Name: "impl_by_name", Size: n,
-			IndexedNsPerOp: lIdx.NsPerOp, FullScanNsPerOp: lScan.NsPerOp,
-			Speedup:       lScan.NsPerOp / lIdx.NsPerOp,
-			IndexedAllocs: lIdx.AllocsPerOp, FullScanAllocs: lScan.AllocsPerOp,
+		topK := measure("query_topk5", n, func(b *testing.B) {
+			b.ReportAllocs()
+			fns := []genus.Function{genus.FuncADD, genus.FuncSUB}
+			for i := 0; i < b.N; i++ {
+				if _, err := db.QueryByFunctionsTopK(fns, 5, icdb.ForWidth(8)); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 
-		report.Measurements = append(report.Measurements,
-			qIdx, qScan, lIdx, lScan,
-			measure("query_topk5", n, func(b *testing.B) {
-				b.ReportAllocs()
-				fns := []genus.Function{genus.FuncADD, genus.FuncSUB}
-				for i := 0; i < b.N; i++ {
-					if _, err := db.QueryByFunctionsTopK(fns, 5, icdb.ForWidth(8)); err != nil {
-						b.Fatal(err)
-					}
+		jsonPath := filepath.Join(tmp, fmt.Sprintf("save%d.json", n))
+		snapPath := filepath.Join(tmp, fmt.Sprintf("save%d.snap", n))
+		saveJSON := measure("save_json", n, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := db.Store().Save(jsonPath); err != nil {
+					b.Fatal(err)
 				}
-			}),
-			measure("save_json", n, func(b *testing.B) {
-				b.ReportAllocs()
-				path := filepath.Join(tmp, fmt.Sprintf("save%d.json", n))
-				for i := 0; i < b.N; i++ {
-					if err := db.Store().Save(path); err != nil {
-						b.Fatal(err)
-					}
+			}
+		})
+		saveSnap := measure("save_snapshot", n, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := db.Store().SaveSnapshot(snapPath); err != nil {
+					b.Fatal(err)
 				}
-			}),
-			measure("load_json", n, func(b *testing.B) {
-				b.ReportAllocs()
-				path := filepath.Join(tmp, fmt.Sprintf("save%d.json", n))
-				for i := 0; i < b.N; i++ {
-					if _, err := relstore.Load(path); err != nil {
-						b.Fatal(err)
-					}
+			}
+		})
+
+		// Release the source catalog before the load benchmarks: loading
+		// is the tool-startup path, and keeping a dead 100k-impl catalog
+		// resident would only add GC noise to both formats' numbers.
+		db = nil
+		runtime.GC()
+
+		loadJSON := measure("load_json", n, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := relstore.Load(jsonPath); err != nil {
+					b.Fatal(err)
 				}
+			}
+		})
+		loadSnap := measure("load_snapshot", n, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := relstore.LoadSnapshot(snapPath); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
+		report.Comparisons = append(report.Comparisons,
+			compare("query_by_function", n, "full scan (pre-index path)", qIdx, qScan),
+			compare("impl_by_name", n, "full scan (pre-index path)", lIdx, lScan),
+			compare("query_by_function_stream", n, "materialized QueryByFunction", qStream, qIdx),
+			compare("persistence_round_trip", n, "JSON Save+Load", benchMeasure{
+				NsPerOp:     saveSnap.NsPerOp + loadSnap.NsPerOp,
+				AllocsPerOp: saveSnap.AllocsPerOp + loadSnap.AllocsPerOp,
+			}, benchMeasure{
+				NsPerOp:     saveJSON.NsPerOp + loadJSON.NsPerOp,
+				AllocsPerOp: saveJSON.AllocsPerOp + loadJSON.AllocsPerOp,
 			}),
 		)
+		report.Measurements = append(report.Measurements,
+			qIdx, qScan, qStream, lIdx, lScan, topK,
+			saveJSON, saveSnap, loadJSON, loadSnap)
+
+		if n == 10000 {
+			guardResults["load_json"] = loadJSON
+			guardResults["load_snapshot"] = loadSnap
+		}
 	}
 
 	// Catalog-size-independent measurements.
@@ -245,8 +335,22 @@ func runBench(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
 	for _, c := range report.Comparisons {
-		fmt.Printf("%s n=%d: %.0f ns/op indexed vs %.0f ns/op full scan (%.1fx)\n",
-			c.Name, c.Size, c.IndexedNsPerOp, c.FullScanNsPerOp, c.Speedup)
+		fmt.Printf("%s n=%d: %.0f ns/op vs %.0f ns/op %s (%.1fx, %.1fx fewer allocs)\n",
+			c.Name, c.Size, c.NsPerOp, c.BaselineNsPerOp, c.Baseline, c.Speedup, c.AllocRatio)
+	}
+
+	if *guard {
+		lj, okJ := guardResults["load_json"]
+		ls, okS := guardResults["load_snapshot"]
+		if !okJ || !okS {
+			return fmt.Errorf("bench guard needs the 10000 size in -sizes (got %v)", sizes)
+		}
+		if ls.NsPerOp >= lj.NsPerOp {
+			return fmt.Errorf("bench guard: LoadSnapshot (%.0f ns/op) is not faster than JSON Load (%.0f ns/op) at 10000 implementations",
+				ls.NsPerOp, lj.NsPerOp)
+		}
+		fmt.Fprintf(os.Stderr, "guard ok: LoadSnapshot %.0f ns/op < JSON Load %.0f ns/op at n=10000 (%.1fx)\n",
+			ls.NsPerOp, lj.NsPerOp, lj.NsPerOp/ls.NsPerOp)
 	}
 	return nil
 }

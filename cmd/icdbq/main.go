@@ -7,7 +7,7 @@
 //	icdbq impls
 //	icdbq query <function>... [-where <expr>]
 //	icdbq expand <design.iif|-> [param=value...]
-//	icdbq bench [-sizes 1000,10000] [-out BENCH_PR2.json] [-benchtime 300ms]
+//	icdbq bench [-sizes 1000,10000] [-out BENCH_PR3.json] [-benchtime 300ms] [-guard]
 package main
 
 import (

@@ -143,3 +143,27 @@ func FullScanImplRow(db *icdb.DB, name string) (relstore.Row, error) {
 	return db.Store().SelectOne(icdb.TableImplementations,
 		relstore.Func(func(r relstore.Row) bool { return r["name"] == name }))
 }
+
+// StreamedQueryByFunction materializes the streaming query path into the
+// ranked shape QueryByFunction returns, so tests and the bench harness
+// can cross-validate the two result paths candidate for candidate. (Real
+// streaming consumers fold or filter in the visitor instead; collecting
+// defeats the point outside of validation.)
+func StreamedQueryByFunction(db *icdb.DB, fn genus.Function, cs ...icdb.Constraint) ([]icdb.Candidate, error) {
+	var out []icdb.Candidate
+	err := db.QueryByFunctionScan(fn, func(c icdb.Candidate) bool {
+		c.Impl = c.Impl.Clone() // the streamed Impl must not be retained as-is
+		out = append(out, c)
+		return true
+	}, cs...)
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Cost != out[j].Cost {
+			return out[i].Cost < out[j].Cost
+		}
+		return out[i].Impl.Name < out[j].Impl.Name
+	})
+	return out, nil
+}

@@ -678,14 +678,38 @@ func (x *expansion) resolveUncached(c *iif.Call, width int) (icdb.Impl, error) {
 		cs = append(cs, icdb.ForWidth(width))
 	}
 	if ct, ok := genus.NormalizeComponentType(c.Name); ok {
-		if cands, err := db.QueryByComponentTopK(ct, 1, cs...); err == nil && len(cands) > 0 {
-			return cands[0].Impl, nil
+		if im, ok := cheapest(func(visit func(icdb.Candidate) bool) error {
+			return db.QueryByComponentScan(ct, visit, cs...)
+		}); ok {
+			return im, nil
 		}
 	}
 	if fn, err := genus.NormalizeFunction(c.Name); err == nil {
-		if cands, err := db.QueryByFunctionTopK(fn, 1, cs...); err == nil && len(cands) > 0 {
-			return cands[0].Impl, nil
+		if im, ok := cheapest(func(visit func(icdb.Candidate) bool) error {
+			return db.QueryByFunctionScan(fn, visit, cs...)
+		}); ok {
+			return im, nil
 		}
 	}
 	return icdb.Impl{}, iif.Errf(c.Pos, "#%s: resolves to no implementation, component type, or function in the database", c.Name)
+}
+
+// cheapest folds a streamed query down to its single best-ranked
+// candidate (lowest cost, name as tie-break — the same order the ranked
+// queries return) without materializing the result set: resolution only
+// ever needs the winner, so the candidates are consumed as they stream.
+func cheapest(scan func(visit func(icdb.Candidate) bool) error) (icdb.Impl, bool) {
+	var best icdb.Impl
+	var bestCost float64
+	found := false
+	err := scan(func(cand icdb.Candidate) bool {
+		if !found || cand.Cost < bestCost ||
+			(cand.Cost == bestCost && cand.Impl.Name < best.Name) {
+			// Clone: the streamed Impl shares the query cache's slices
+			// and must not be retained past the visit.
+			best, bestCost, found = cand.Impl.Clone(), cand.Cost, true
+		}
+		return true
+	})
+	return best, err == nil && found
 }

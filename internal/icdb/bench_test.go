@@ -78,6 +78,27 @@ func BenchmarkQueryByFunctionFullScan(b *testing.B) {
 	})
 }
 
+// BenchmarkQueryByFunctionScan is the streaming result path: same
+// candidate set as BenchmarkQueryByFunction, but yielded row by row with
+// O(1) allocation per row instead of materialized, cloned, and sorted.
+func BenchmarkQueryByFunctionScan(b *testing.B) {
+	sizeRun(b, func(b *testing.B, n int) {
+		db := benchDB(b, n)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rows := 0
+			err := db.QueryByFunctionScan(genus.FuncADD, func(c icdb.Candidate) bool {
+				rows++
+				return true
+			}, icdb.MaxArea(50))
+			if err != nil || rows == 0 {
+				b.Fatal(err, rows)
+			}
+		}
+	})
+}
+
 func BenchmarkQueryByFunctionsTopK(b *testing.B) {
 	sizeRun(b, func(b *testing.B, n int) {
 		db := benchDB(b, n)
@@ -167,8 +188,44 @@ func BenchmarkExpandWarm(b *testing.B) {
 	}
 }
 
-// Save/Load cover JSON persistence of the whole catalog (100k excluded:
-// see the ROADMAP persistence follow-up for the binary-format plan).
+// Persistence of the whole catalog, in both formats. The snapshot pair
+// is the fast path (bulk-built indexes, no per-row validation); the JSON
+// pair is the compat path it replaced on the hot loop.
+func BenchmarkSaveSnapshot(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			db := benchDB(b, n)
+			path := filepath.Join(b.TempDir(), "icdb.snap")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := db.Store().SaveSnapshot(path); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkLoadSnapshot(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			db := benchDB(b, n)
+			path := filepath.Join(b.TempDir(), "icdb.snap")
+			if err := db.Store().SaveSnapshot(path); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := relstore.LoadSnapshot(path); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkSave(b *testing.B) {
 	for _, n := range []int{1000, 10000} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {

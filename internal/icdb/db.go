@@ -105,13 +105,20 @@ type Impl struct {
 // Attrs exposes the implementation's attributes to constraint
 // expressions (see Where).
 func (im Impl) Attrs() Attrs {
-	return Attrs{
-		"width_min": float64(im.WidthMin),
-		"width_max": float64(im.WidthMax),
-		"stages":    float64(im.Stages),
-		"area":      im.Area,
-		"delay":     im.Delay,
-	}
+	a := make(Attrs, 5)
+	im.fillAttrs(a)
+	return a
+}
+
+// fillAttrs (re)fills a with im's attributes. The query engine reuses
+// one map across the candidates of a streamed query instead of
+// allocating per row.
+func (im *Impl) fillAttrs(a Attrs) {
+	a["width_min"] = float64(im.WidthMin)
+	a["width_max"] = float64(im.WidthMax)
+	a["stages"] = float64(im.Stages)
+	a["area"] = im.Area
+	a["delay"] = im.Delay
 }
 
 // DB is the component database engine. It wraps a relstore.Store holding
@@ -349,7 +356,7 @@ func (db *DB) RegisterImpl(im Impl) error {
 	}
 	// Keep the derived indexes current: the registered implementation
 	// replaces any previous posting-list entries under its name.
-	db.noteImpl(im.copyOut())
+	db.noteImpl(im.Clone())
 	return nil
 }
 
@@ -385,10 +392,11 @@ func implRow(im Impl) relstore.Row {
 	}
 }
 
-// copyOut returns a caller-owned copy of im: cached implementations are
-// shared and immutable, so every public method hands out copies with
-// fresh slices.
-func (im *Impl) copyOut() Impl {
+// Clone returns a caller-owned copy of im with freshly allocated slices.
+// Cached implementations are shared and immutable, so every
+// materializing method hands out clones; callers of the streaming Scan
+// queries use Clone to retain a yielded Impl past its visit.
+func (im *Impl) Clone() Impl {
 	out := *im
 	out.Functions = append([]genus.Function(nil), im.Functions...)
 	out.Params = append([]string(nil), im.Params...)
@@ -457,7 +465,7 @@ func (db *DB) ImplByName(name string) (Impl, error) {
 	p := db.impls[name]
 	db.cmu.RUnlock()
 	if p != nil {
-		return p.copyOut(), nil
+		return p.Clone(), nil
 	}
 	row, err := db.store.Get(TableImplementations, name)
 	if err != nil {
@@ -467,18 +475,19 @@ func (db *DB) ImplByName(name string) (Impl, error) {
 	db.noteImpl(im)
 	// noteImpl cached a struct copy sharing im's slices; hand the caller
 	// its own copy so mutating the result cannot corrupt the cache.
-	return im.copyOut(), nil
+	return im.Clone(), nil
 }
 
-// Impls returns every registered implementation in insertion order.
+// Impls returns every registered implementation in insertion order. It
+// decodes straight off the store's row cursor: rowImpl copies every
+// value out, so no defensive row clone is needed.
 func (db *DB) Impls() ([]Impl, error) {
-	rows, err := db.store.Select(TableImplementations, nil)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]Impl, len(rows))
-	for i, r := range rows {
-		out[i] = rowImpl(r)
+	var out []Impl
+	for r, err := range db.store.Rows(TableImplementations, nil) {
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rowImpl(r))
 	}
 	return out, nil
 }

@@ -254,52 +254,9 @@ func (db *DB) QueryByFunctionTopK(fn genus.Function, k int, cs ...Constraint) ([
 // QueryByFunctionsTopK is QueryByFunctions bounded to the k cheapest
 // candidates (k <= 0 means unbounded).
 func (db *DB) QueryByFunctionsTopK(fns []genus.Function, k int, cs ...Constraint) ([]Candidate, error) {
-	if len(fns) == 0 {
-		return nil, fmt.Errorf("icdb: query with no functions")
-	}
-	want := make([]genus.Function, 0, len(fns))
-	for _, f := range fns {
-		nf, err := genus.NormalizeFunction(string(f))
-		if err != nil {
-			return nil, err
-		}
-		want = append(want, nf)
-	}
-	// Intersect posting lists smallest-first: iterate the rarest
-	// function's postings and keep implementations present in all others.
-	// Cached *Impl values are never mutated in place (re-registration
-	// swaps pointers), so ranking may use them after the lock is
-	// released.
-	var cands []*Impl
-	err := db.withIndexes(func() {
-		posts := make([]map[string]*Impl, len(want))
-		smallest := 0
-		for i, f := range want {
-			posts[i] = db.byFn[f]
-			if len(posts[i]) < len(posts[smallest]) {
-				smallest = i
-			}
-		}
-		if len(posts[smallest]) > 0 {
-			cands = make([]*Impl, 0, len(posts[smallest]))
-		}
-	outer:
-		for name, im := range posts[smallest] {
-			for i, post := range posts {
-				if i == smallest {
-					continue
-				}
-				if _, ok := post[name]; !ok {
-					continue outer
-				}
-			}
-			cands = append(cands, im)
-		}
-	})
-	if err != nil {
-		return nil, err
-	}
-	return db.rank(cands, cs, k)
+	return db.rankSeq(func(visit func(*Impl) bool) error {
+		return db.forEachByFunctions(fns, visit)
+	}, cs, k)
 }
 
 // QueryByComponent returns the ranked implementations of one component
@@ -311,58 +268,146 @@ func (db *DB) QueryByComponent(ct genus.ComponentType, cs ...Constraint) ([]Cand
 // QueryByComponentTopK is QueryByComponent bounded to the k cheapest
 // candidates (k <= 0 means unbounded).
 func (db *DB) QueryByComponentTopK(ct genus.ComponentType, k int, cs ...Constraint) ([]Candidate, error) {
-	nct, ok := genus.NormalizeComponentType(string(ct))
-	if !ok {
-		return nil, fmt.Errorf("icdb: unknown component type %q", ct)
-	}
-	var cands []*Impl
-	err := db.withIndexes(func() {
-		post := db.byCt[nct]
-		if len(post) > 0 {
-			cands = make([]*Impl, 0, len(post))
-		}
-		for _, im := range post {
-			cands = append(cands, im)
-		}
-	})
-	if err != nil {
-		return nil, err
-	}
-	return db.rank(cands, cs, k)
+	return db.rankSeq(func(visit func(*Impl) bool) error {
+		return db.forEachByComponent(ct, visit)
+	}, cs, k)
 }
 
-// rank filters cands through the constraints, scores survivors, and
-// returns them cheapest-first (ties broken by name). With k > 0 it keeps
-// a worst-on-top heap of k entries so an unbounded result set is never
+// ---- streaming core ----
+//
+// Every query path is built on an implSeq: a function streaming cached
+// *Impl values to a visitor under the index read lock. Cached *Impl
+// values are never mutated in place (re-registration swaps pointers), so
+// consumers may use one after the lock is released — but must copy
+// (Clone) anything they hand to callers.
+
+// implSeq streams implementations to visit, stopping early when visit
+// returns false.
+type implSeq func(visit func(*Impl) bool) error
+
+// forEachByFunctions intersects the function inverted index's posting
+// lists smallest-first: it iterates the rarest function's postings and
+// yields implementations present in all others.
+func (db *DB) forEachByFunctions(fns []genus.Function, visit func(*Impl) bool) error {
+	if len(fns) == 0 {
+		return fmt.Errorf("icdb: query with no functions")
+	}
+	want := make([]genus.Function, 0, len(fns))
+	for _, f := range fns {
+		nf, err := genus.NormalizeFunction(string(f))
+		if err != nil {
+			return err
+		}
+		want = append(want, nf)
+	}
+	return db.withIndexes(func() {
+		posts := make([]map[string]*Impl, len(want))
+		smallest := 0
+		for i, f := range want {
+			posts[i] = db.byFn[f]
+			if len(posts[i]) < len(posts[smallest]) {
+				smallest = i
+			}
+		}
+	outer:
+		for name, im := range posts[smallest] {
+			for i, post := range posts {
+				if i == smallest {
+					continue
+				}
+				if _, ok := post[name]; !ok {
+					continue outer
+				}
+			}
+			if !visit(im) {
+				return
+			}
+		}
+	})
+}
+
+// forEachByComponent streams one component type's posting map.
+func (db *DB) forEachByComponent(ct genus.ComponentType, visit func(*Impl) bool) error {
+	nct, ok := genus.NormalizeComponentType(string(ct))
+	if !ok {
+		return fmt.Errorf("icdb: unknown component type %q", ct)
+	}
+	return db.withIndexes(func() {
+		for _, im := range db.byCt[nct] {
+			if !visit(im) {
+				return
+			}
+		}
+	})
+}
+
+// forEachImpl streams the whole decoded-implementation cache.
+func (db *DB) forEachImpl(visit func(*Impl) bool) error {
+	return db.withIndexes(func() {
+		for _, im := range db.impls {
+			if !visit(im) {
+				return
+			}
+		}
+	})
+}
+
+// acceptAll evaluates the constraints against im's attributes. The
+// attribute map pointed to by attrs is allocated once and refilled per
+// candidate: constraints are only constructible inside this package
+// (Where, ForWidth, MaxArea, MaxDelay) and none retains the map, so
+// reuse is sound and keeps constrained streaming at O(1) allocations
+// per row.
+func acceptAll(cs []Constraint, im *Impl, attrs *Attrs) (bool, error) {
+	if len(cs) == 0 {
+		return true, nil
+	}
+	if *attrs == nil {
+		*attrs = make(Attrs, 8)
+	}
+	im.fillAttrs(*attrs)
+	for _, c := range cs {
+		pass, err := c.Accept(*attrs)
+		if err != nil || !pass {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// rankSeq materializes the ranked answer of one streamed query:
+// survivors of the constraints, scored and returned cheapest-first (ties
+// broken by name). With k > 0 it keeps a worst-on-top heap of k entries
+// fed directly from the stream, so an unbounded result set is never
 // materialized or fully sorted.
-func (db *DB) rank(cands []*Impl, cs []Constraint, k int) ([]Candidate, error) {
-	wa, wd := db.rankWeights()
+func (db *DB) rankSeq(seq implSeq, cs []Constraint, k int) ([]Candidate, error) {
+	wa, wd := db.rankWeights() // before the stream: rankWeights takes the cache lock itself
 	var out []Candidate
+	var attrs Attrs
+	var cerr error
 	h := candHeap{limit: k}
-	for _, im := range cands {
-		if len(cs) > 0 {
-			attrs := im.Attrs()
-			ok := true
-			for _, c := range cs {
-				pass, err := c.Accept(attrs)
-				if err != nil {
-					return nil, err
-				}
-				if !pass {
-					ok = false
-					break
-				}
-			}
-			if !ok {
-				continue
-			}
+	err := seq(func(im *Impl) bool {
+		ok, err := acceptAll(cs, im, &attrs)
+		if err != nil {
+			cerr = err
+			return false
+		}
+		if !ok {
+			return true
 		}
 		cost := im.Area*wa + im.Delay*wd
 		if k > 0 {
 			h.offer(im, cost)
 		} else {
-			out = append(out, Candidate{Impl: im.copyOut(), Cost: cost})
+			out = append(out, Candidate{Impl: im.Clone(), Cost: cost})
 		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if cerr != nil {
+		return nil, cerr
 	}
 	if k > 0 {
 		out = h.take()
@@ -374,6 +419,69 @@ func (db *DB) rank(cands []*Impl, cs []Constraint, k int) ([]Candidate, error) {
 		return out[i].Impl.Name < out[j].Impl.Name
 	})
 	return out, nil
+}
+
+// scanSeq drives one streamed query end to end: constraint filtering,
+// costing, and delivery to the caller's visitor, allocating O(1) total
+// beyond what the visitor itself does.
+func (db *DB) scanSeq(seq implSeq, cs []Constraint, visit func(Candidate) bool) error {
+	wa, wd := db.rankWeights()
+	var attrs Attrs
+	var cerr error
+	err := seq(func(im *Impl) bool {
+		ok, err := acceptAll(cs, im, &attrs)
+		if err != nil {
+			cerr = err
+			return false
+		}
+		if !ok {
+			return true
+		}
+		return visit(Candidate{Impl: *im, Cost: im.Area*wa + im.Delay*wd})
+	})
+	if err != nil {
+		return err
+	}
+	return cerr
+}
+
+// QueryByFunctionScan is the streaming form of QueryByFunction: it
+// yields each candidate executing fn (and passing cs) to visit as it is
+// found, without materializing, ranking, or copying the result set.
+// Candidates arrive in unspecified order; visit returning false stops
+// the scan.
+//
+// The yielded Candidate's Impl shares the cache's backing slices: treat
+// it as read-only and call Impl.Clone before retaining it past the
+// visit. visit runs under the DB's index read lock, so it must not call
+// back into the DB.
+func (db *DB) QueryByFunctionScan(fn genus.Function, visit func(Candidate) bool, cs ...Constraint) error {
+	return db.QueryByFunctionsScan([]genus.Function{fn}, visit, cs...)
+}
+
+// QueryByFunctionsScan is QueryByFunctionScan over a function set: it
+// streams the implementations executing every function in fns. See
+// QueryByFunctionScan for the visitor contract.
+func (db *DB) QueryByFunctionsScan(fns []genus.Function, visit func(Candidate) bool, cs ...Constraint) error {
+	return db.scanSeq(func(v func(*Impl) bool) error {
+		return db.forEachByFunctions(fns, v)
+	}, cs, visit)
+}
+
+// QueryByComponentScan streams the implementations of one component type.
+// See QueryByFunctionScan for the visitor contract.
+func (db *DB) QueryByComponentScan(ct genus.ComponentType, visit func(Candidate) bool, cs ...Constraint) error {
+	return db.scanSeq(func(v func(*Impl) bool) error {
+		return db.forEachByComponent(ct, v)
+	}, cs, visit)
+}
+
+// QueryScan streams every registered implementation passing cs — the
+// whole-catalog walk for tools that want their own filtering or
+// aggregation without paying for a materialized copy. See
+// QueryByFunctionScan for the visitor contract.
+func (db *DB) QueryScan(visit func(Candidate) bool, cs ...Constraint) error {
+	return db.scanSeq(db.forEachImpl, cs, visit)
 }
 
 // candHeap is a bounded worst-on-top heap over (cost, name): the root is
@@ -442,7 +550,7 @@ func (h *candHeap) down(i int) {
 func (h *candHeap) take() []Candidate {
 	out := make([]Candidate, len(h.items))
 	for i, it := range h.items {
-		out[i] = Candidate{Impl: it.im.copyOut(), Cost: it.cost}
+		out[i] = Candidate{Impl: it.im.Clone(), Cost: it.cost}
 	}
 	h.items = nil
 	return out

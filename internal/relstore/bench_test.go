@@ -91,6 +91,82 @@ func BenchmarkSelectUnindexedColumn(b *testing.B) {
 	}
 }
 
+// BenchmarkRowsCursor drives the iterator form of the planned read path;
+// it should track BenchmarkScanNoCopy, not BenchmarkSelectCloneAll.
+func BenchmarkRowsCursor(b *testing.B) {
+	s := benchStore(b, benchRows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for _, err := range s.Rows("implementations", nil) {
+			if err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+		if n != benchRows {
+			b.Fatal(n)
+		}
+	}
+}
+
+// Snapshot persistence against its JSON counterpart, over the same
+// store shape the other benchmarks use.
+func BenchmarkSaveSnapshot(b *testing.B) {
+	s := benchStore(b, benchRows)
+	path := b.TempDir() + "/store.snap"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.SaveSnapshot(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoadSnapshot(b *testing.B) {
+	s := benchStore(b, benchRows)
+	path := b.TempDir() + "/store.snap"
+	if err := s.SaveSnapshot(path); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LoadSnapshot(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSaveJSON(b *testing.B) {
+	s := benchStore(b, benchRows)
+	path := b.TempDir() + "/store.json"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Save(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoadJSON(b *testing.B) {
+	s := benchStore(b, benchRows)
+	path := b.TempDir() + "/store.json"
+	if err := s.Save(path); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Load(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkScanNoCopy(b *testing.B) {
 	s := benchStore(b, benchRows)
 	b.ReportAllocs()

@@ -1,0 +1,43 @@
+package relstore
+
+import (
+	"fmt"
+	"iter"
+)
+
+// Rows returns a cursor over the rows of tableName matching p (nil p
+// matches everything), in insertion order. Like Select and Scan it
+// narrows candidates through the query planner, so an Eq-shaped
+// predicate over the key or an indexed column tuple walks only the
+// matching posting list. Unlike Select nothing is materialized: rows are
+// yielded one at a time, without copying, so a caller that decodes into
+// its own representation allocates nothing per row here.
+//
+// On error (unknown table) the sequence yields a single (nil, error)
+// pair; every successful yield carries a nil error.
+//
+// The store's read lock is held for the lifetime of the iteration: the
+// loop body must not call back into the Store (deadlock), must treat the
+// yielded Row as read-only, and must not retain it (or any contained
+// reference) after the iteration advances — copy what outlives the loop.
+// Breaking out of the loop releases the lock.
+func (s *Store) Rows(tableName string, p Pred) iter.Seq2[Row, error] {
+	return func(yield func(Row, error) bool) {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		t, ok := s.tables[tableName]
+		if !ok {
+			yield(nil, fmt.Errorf("relstore: no table %q", tableName))
+			return
+		}
+		ids, verify := t.plan(p)
+		for _, id := range ids {
+			r := t.rows[id]
+			if !verify || p.Match(r) {
+				if !yield(r, nil) {
+					return
+				}
+			}
+		}
+	}
+}

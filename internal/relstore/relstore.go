@@ -732,9 +732,14 @@ type persistedTable struct {
 	Rows   []Row  `json:"rows"`
 }
 
-// Save writes the whole store as JSON to path. Rows are written in
-// insertion order; secondary-index declarations persist with the schema
-// and are rebuilt on Load.
+// Save writes the whole store as JSON to path, atomically (temp file in
+// the target directory, fsync, rename — a crash mid-save cannot truncate
+// an existing catalog). Rows are written in insertion order; secondary-
+// index declarations persist with the schema and are rebuilt on Load.
+// JSON is the compatibility format: SaveSnapshot (snapshot.go) is the
+// fast binary path, and Load reads either. Like SaveSnapshot, the read
+// lock is held through the rename so concurrent saves cannot replace a
+// newer on-disk state with a staler one.
 func (s *Store) Save(path string) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -750,16 +755,31 @@ func (s *Store) Save(path string) error {
 	if err != nil {
 		return fmt.Errorf("relstore: save: %w", err)
 	}
-	return os.WriteFile(path, data, 0o644)
+	return writeFileAtomic(path, data)
 }
 
-// Load reads a store previously written by Save. JSON numbers arrive as
-// float64; integer columns are normalized back to int.
+// Load reads a store previously written by Save or SaveSnapshot,
+// sniffing the format: files opening with the snapshot magic take the
+// trusted binary fast path (LoadSnapshot), anything else is parsed as
+// JSON. On the JSON path every column is normalized and type-checked
+// once per column before any row is stored, and errors carry their full
+// context (table, row index, column name).
 func Load(path string) (*Store, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("relstore: load: %w", err)
 	}
+	if IsSnapshot(data) {
+		s, err := decodeSnapshot(data)
+		if err != nil {
+			return nil, fmt.Errorf("relstore: load snapshot %s: %w", path, err)
+		}
+		return s, nil
+	}
+	return loadJSON(path, data)
+}
+
+func loadJSON(path string, data []byte) (*Store, error) {
 	var in map[string]persistedTable
 	if err := json.Unmarshal(data, &in); err != nil {
 		return nil, fmt.Errorf("relstore: load %s: %w", path, err)
@@ -770,23 +790,69 @@ func Load(path string) (*Store, error) {
 		names = append(names, n)
 	}
 	sort.Strings(names)
+	ctx := func(format string, args ...any) error {
+		return fmt.Errorf("relstore: load %s: %s", path, fmt.Sprintf(format, args...))
+	}
 	for _, n := range names {
 		pt := in[n]
+		if pt.Schema.Table != n {
+			return nil, ctx("table %q: schema declares name %q", n, pt.Schema.Table)
+		}
 		if err := s.CreateTable(pt.Schema); err != nil {
 			return nil, err
 		}
-		for _, r := range pt.Rows {
-			for _, c := range pt.Schema.Columns {
-				if c.Type == TInt {
-					if f, ok := r[c.Name].(float64); ok {
-						r[c.Name] = int(f)
+		t := s.tables[n]
+		// Normalize and type-check column-wise: the type dispatch runs
+		// once per column, not once per value, and a bad value is
+		// reported with its exact position. canonVal maps JSON's float64
+		// onto canonical TInt ints only when integral — a fractional
+		// value in an int column is an error here, not a silent
+		// truncation.
+		for _, c := range pt.Schema.Columns {
+			for ri, r := range pt.Rows {
+				v, ok := r[c.Name]
+				if !ok {
+					return nil, ctx("table %q row %d: missing column %q", n, ri, c.Name)
+				}
+				cv := canonVal(c.Type, v)
+				if err := checkType(c.Type, cv); err != nil {
+					return nil, ctx("table %q row %d column %q: %v", n, ri, c.Name, err)
+				}
+				r[c.Name] = cv
+			}
+		}
+		for ri, r := range pt.Rows {
+			if len(r) != len(pt.Schema.Columns) {
+				for k := range r {
+					if _, ok := t.cols[k]; !ok {
+						return nil, ctx("table %q row %d: undeclared column %q", n, ri, k)
 					}
 				}
 			}
-			if err := s.Insert(n, r); err != nil {
-				return nil, err
+			// Rows are fully validated and canonical; append directly,
+			// skipping Insert's re-check and defensive clone.
+			if err := t.appendCanonical(r); err != nil {
+				return nil, ctx("table %q row %d: %v", n, ri, err)
 			}
 		}
 	}
 	return s, nil
+}
+
+// appendCanonical adds an already-validated, already-canonical row during
+// bulk load, maintaining every index incrementally. It is Insert minus
+// checkRow and canon.
+func (t *table) appendCanonical(r Row) error {
+	if len(t.schema.Key) > 0 {
+		k := t.keyOf(r)
+		if _, conflict := t.keyIndex[k]; conflict {
+			return fmt.Errorf("duplicate key %v=%q", t.schema.Key, keyValues(k))
+		}
+		t.keyIndex[k] = t.nextID
+	}
+	t.rows[t.nextID] = r
+	t.ids = append(t.ids, t.nextID)
+	t.indexAdd(t.nextID, r)
+	t.nextID++
+	return nil
 }

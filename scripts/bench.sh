@@ -1,14 +1,17 @@
 #!/bin/sh
-# bench.sh — run the ICDB benchmark harness and emit the BENCH_PR2.json
+# bench.sh — run the ICDB benchmark harness and emit the BENCH_PR3.json
 # trajectory file at the repo root.
 #
 # Usage:
-#   scripts/bench.sh                 # default: 1k and 10k catalogs
-#   SIZES=1000 scripts/bench.sh      # CI smoke: small catalog only
+#   scripts/bench.sh                    # default: 1k and 10k catalogs
+#   SIZES=1000 scripts/bench.sh         # small catalog only
+#   GUARD=1 scripts/bench.sh            # fail if LoadSnapshot loses to JSON Load at 10k
 #   SIZES=1000,10000,100000 OUT=/tmp/bench.json scripts/bench.sh
 set -eu
 cd "$(dirname "$0")/.."
 SIZES="${SIZES:-1000,10000}"
-OUT="${OUT:-BENCH_PR2.json}"
+OUT="${OUT:-BENCH_PR3.json}"
 BENCHTIME="${BENCHTIME:-300ms}"
-exec go run ./cmd/icdbq bench -sizes "$SIZES" -out "$OUT" -benchtime "$BENCHTIME"
+GUARD_FLAG=""
+[ "${GUARD:-0}" != "0" ] && GUARD_FLAG="-guard"
+exec go run ./cmd/icdbq bench -sizes "$SIZES" -out "$OUT" -benchtime "$BENCHTIME" $GUARD_FLAG
