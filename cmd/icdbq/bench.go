@@ -97,7 +97,7 @@ func compare(name string, size int, baseline string, now, was benchMeasure) benc
 func runBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
 	sizesFlag := fs.String("sizes", "1000,10000", "comma-separated catalog sizes")
-	out := fs.String("out", "BENCH_PR3.json", "output JSON path")
+	out := fs.String("out", defaultBenchOut, "output JSON path")
 	benchtime := fs.String("benchtime", "300ms", "per-benchmark measuring time")
 	guard := fs.Bool("guard", false, "fail unless LoadSnapshot beats JSON Load at the 10000 size")
 	if err := fs.Parse(args); err != nil {

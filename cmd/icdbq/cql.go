@@ -1,0 +1,102 @@
+// cql.go implements "icdbq cql": the textual CQL front-end, as a
+// one-shot command and as an interactive REPL. Results stream to stdout
+// as the engine yields them (see internal/cql); parse errors are
+// reported with their column, and the REPL draws a caret under the
+// offending token.
+package main
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"icdb/internal/cql"
+	"icdb/internal/icdb"
+)
+
+// runCQL dispatches "icdbq cql": `icdbq cql "<command>"` executes one
+// command, `icdbq cql -i` starts the REPL.
+func runCQL(db *icdb.DB, args []string) error {
+	if len(args) == 1 && args[0] == "-i" {
+		return runREPL(db)
+	}
+	if len(args) != 1 {
+		return fmt.Errorf(`cql needs exactly one command string (or -i for a REPL), e.g. icdbq cql "find component executing STORAGE limit 5"`)
+	}
+	env := &cql.Env{DB: db, Out: os.Stdout, ReadFile: readDesign}
+	return env.Exec(args[0])
+}
+
+// readDesign loads an expand command's design source: a file path, or
+// standard input for "-".
+func readDesign(path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}
+
+// replPrompt is the REPL's prompt; caret positioning under an error
+// column accounts for its width.
+const replPrompt = "cql> "
+
+// runREPL reads CQL commands from standard input line by line until
+// "quit", "exit", or EOF. One Env lives for the whole session, so
+// repeated expands reuse parsed designs and expanded templates. Designs
+// cannot be read from "-" here — the REPL owns standard input.
+func runREPL(db *icdb.DB) error {
+	env := &cql.Env{
+		DB:  db,
+		Out: os.Stdout,
+		ReadFile: func(path string) ([]byte, error) {
+			if path == "-" {
+				return nil, fmt.Errorf("cannot read a design from stdin inside the REPL")
+			}
+			return os.ReadFile(path)
+		},
+	}
+	fmt.Println(`ICDB CQL. Type "help" for the command summary, "quit" to leave.`)
+	// A bufio.Reader, not a Scanner: a pasted line longer than the
+	// Scanner's 64KB token limit must not kill the session.
+	rd := bufio.NewReader(os.Stdin)
+	for {
+		fmt.Print(replPrompt)
+		raw, err := rd.ReadString('\n')
+		if err != nil && raw == "" {
+			fmt.Println()
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		atEOF := err != nil
+		line := strings.TrimSpace(raw)
+		switch line {
+		case "":
+			if atEOF {
+				fmt.Println()
+				return nil
+			}
+			continue
+		case "quit", "exit":
+			return nil
+		}
+		if err := env.Exec(line); err != nil {
+			var e *cql.Error
+			if errors.As(err, &e) && e.Col >= 1 {
+				// The mistyped line sits right above; point at the column,
+				// re-adding any leading whitespace Exec did not see.
+				lead := raw[:len(raw)-len(strings.TrimLeft(raw, " \t"))]
+				fmt.Printf("%s%s^\n", strings.Repeat(" ", len(replPrompt)), lead+strings.Repeat(" ", e.Col-1))
+			}
+			fmt.Printf("error: %v\n", err)
+		}
+		if atEOF {
+			fmt.Println()
+			return nil
+		}
+	}
+}

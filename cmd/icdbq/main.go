@@ -1,13 +1,18 @@
 // Command icdbq is a small front-end over the ICDB engine: it answers
-// query-by-function requests against the builtin component database and
-// expands IIF designs to flat equation networks.
+// query-by-function requests against the builtin component database,
+// executes textual CQL commands (one-shot or as an interactive REPL),
+// and expands IIF designs to flat equation networks.
 //
 // Usage:
 //
 //	icdbq impls
 //	icdbq query <function>... [-where <expr>]
+//	icdbq cql "<command>" | icdbq cql -i
 //	icdbq expand <design.iif|-> [param=value...]
 //	icdbq bench [-sizes 1000,10000] [-out BENCH_PR3.json] [-benchtime 300ms] [-guard]
+//
+// The usage lines above are generated from the command table in
+// usage.go and verified by TestDocCommentMatchesUsage; edit them there.
 package main
 
 import (
@@ -33,7 +38,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: icdbq impls | query <function>... [-where <expr>] | expand <file|-> [param=value...] | bench [flags]")
+		return fmt.Errorf("%s", usageText())
 	}
 	if args[0] == "bench" {
 		// Benchmarks build their own catalogs; no seeded DB needed.
@@ -59,10 +64,13 @@ func run(args []string) error {
 	case "query":
 		return runQuery(db, args[1:])
 
+	case "cql":
+		return runCQL(db, args[1:])
+
 	case "expand":
 		return runExpand(db, args[1:])
 	}
-	return fmt.Errorf("unknown command %q (want impls, query, expand, or bench)", args[0])
+	return fmt.Errorf("unknown command %q (want %s)", args[0], commandNames())
 }
 
 func runQuery(db *icdb.DB, args []string) error {

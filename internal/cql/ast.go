@@ -1,0 +1,96 @@
+package cql
+
+// Stmt is one parsed CQL command. The concrete types are FindStmt,
+// ShowStmt, DescribeStmt, ExpandStmt, and HelpStmt.
+type Stmt interface{ stmt() }
+
+// Word is an identifier-like token with its source column, kept through
+// the AST so the compiler can position vocabulary errors ("unknown
+// function ...") exactly like the parser positions grammar errors.
+type Word struct {
+	Text string
+	Col  int
+}
+
+// FindStmt is a "find component ..." command: the query-by-function/
+// type/attribute production. All clauses are optional; with none, the
+// whole catalog matches.
+type FindStmt struct {
+	// Target is the word after "find": "component", "components", or
+	// "impls" (synonyms — the answer is always implementation rows).
+	Target Word
+	// Type is the component type of an "of type X" clause, nil if absent.
+	Type *Word
+	// Executing lists the function names of an "executing F and G ..."
+	// clause; every listed function must be executable by a candidate.
+	Executing []Word
+	// Where lists the "with" clause's conjunction of attribute
+	// comparisons.
+	Where []Cond
+	// OrderBy is the "order by" clause, nil if absent.
+	OrderBy *OrderClause
+	// Limit is the "limit N" bound; 0 means unlimited.
+	Limit int
+	// HasLimit distinguishes an absent limit clause from "limit 0".
+	HasLimit bool
+}
+
+// Cond is one attribute comparison in a "with" clause: Attr Op Value.
+type Cond struct {
+	Attr Word
+	// Op is the comparison token kind: LE, LT, GE, GT, EQ, or NE.
+	Op Kind
+	// OpText is the operator as written, for error messages.
+	OpText string
+	// OpCol is the operator's column.
+	OpCol int
+	// Value is the right-hand side number.
+	Value float64
+	// ValueIsInt reports whether Value was written as an integer.
+	ValueIsInt bool
+	// ValueCol is the number's column.
+	ValueCol int
+}
+
+// OrderClause is an "order by KEY [asc|desc]" clause.
+type OrderClause struct {
+	Key  Word
+	Desc bool
+}
+
+// ShowStmt is a "show impls|components|functions" catalog listing.
+type ShowStmt struct {
+	// What is the listing selector: "impls", "components", or
+	// "functions" (already validated by the parser).
+	What Word
+}
+
+// DescribeStmt is a "describe <impl>" command: the full record of one
+// implementation, including its IIF source.
+type DescribeStmt struct {
+	Name Word
+}
+
+// ExpandStmt is an "expand <file> [param=value ...]" command: parse the
+// IIF design in the file and flatten it against the database.
+type ExpandStmt struct {
+	// Path is the design file path ("-" for standard input).
+	Path Word
+	// Params binds the design's PARAMETER names to integer values.
+	Params []ExpandParam
+}
+
+// ExpandParam is one name=value binding of an expand command.
+type ExpandParam struct {
+	Name  Word
+	Value int
+}
+
+// HelpStmt is the "help" command.
+type HelpStmt struct{}
+
+func (*FindStmt) stmt()     {}
+func (*ShowStmt) stmt()     {}
+func (*DescribeStmt) stmt() {}
+func (*ExpandStmt) stmt()   {}
+func (*HelpStmt) stmt()     {}

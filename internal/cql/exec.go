@@ -1,0 +1,193 @@
+package cql
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"icdb/internal/expand"
+	"icdb/internal/genus"
+	"icdb/internal/icdb"
+	"icdb/internal/iif"
+)
+
+// HelpText is the command summary the "help" command prints; the full
+// grammar lives in CQL.md. The attribute and order-key lists are built
+// from the same engine vocabularies the parser validates against.
+var HelpText = fmt.Sprintf(`CQL commands:
+  find component [of type <Type>] [executing <Fn> and <Fn>...]
+                 [with <attr> <op> <n> and ...]
+                 [order by %s [asc|desc]]
+                 [limit <n>]
+  show impls | components | functions
+  describe <impl>
+  expand <file|-> [param=value ...]
+  help
+
+Attributes: %s.
+Operators:  <=  <  >=  >  =  !=   ("width = 8" means the range covers 8 bits).
+Without "order by"/"limit", results stream in unspecified order; with
+either, they arrive ranked (default key: weighted cost, ascending).
+`, strings.Join(orderKeyWords, "|"), strings.Join(attrWords, ", "))
+
+// Env is the execution environment of a CQL session: the database
+// commands run against, the writer results are printed to, and the
+// file loader expand commands read designs through.
+type Env struct {
+	// DB is the component database; it must be non-nil.
+	DB *icdb.DB
+	// Out receives command output. Errors are returned, not printed.
+	Out io.Writer
+	// ReadFile loads the design source for an expand command. Leaving it
+	// nil disables expand (for embedders that must not touch the
+	// filesystem); the command then fails with a positioned error.
+	ReadFile func(path string) ([]byte, error)
+
+	// expander is created lazily and kept for the Env's lifetime, so a
+	// REPL session reuses parsed designs and expanded templates.
+	expander *expand.Expander
+}
+
+// Exec parses and executes one CQL command line. Results stream to
+// env.Out as they are produced; errors (including parse errors with
+// their column positions) are returned.
+func (env *Env) Exec(src string) error {
+	stmt, err := Parse(src)
+	if err != nil {
+		return err
+	}
+	switch s := stmt.(type) {
+	case *FindStmt:
+		return env.execFind(s)
+	case *ShowStmt:
+		return env.execShow(s)
+	case *DescribeStmt:
+		return env.execDescribe(s)
+	case *ExpandStmt:
+		return env.execExpand(s)
+	case *HelpStmt:
+		_, err := io.WriteString(env.Out, HelpText)
+		return err
+	}
+	return fmt.Errorf("cql: unhandled statement %T", stmt)
+}
+
+// execFind compiles and runs a find command, printing one numbered row
+// per candidate as the engine yields it.
+func (env *Env) execFind(f *FindStmt) error {
+	q, err := CompileFind(env.DB, f)
+	if err != nil {
+		return err
+	}
+	n := 0
+	err = q.Run(func(c icdb.Candidate) bool {
+		n++
+		fmt.Fprintf(env.Out, "%d. %-12s %-18s width %d..%d area %g delay %g cost %g\n",
+			n, c.Impl.Name, c.Impl.Component, c.Impl.WidthMin, c.Impl.WidthMax,
+			c.Impl.Area, c.Impl.Delay, c.Cost)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if n == 0 {
+		fmt.Fprintln(env.Out, "no matching implementations")
+	}
+	return nil
+}
+
+// execShow prints one of the three catalog listings in deterministic
+// order (implementations in insertion order, vocabularies in GENUS
+// order).
+func (env *Env) execShow(s *ShowStmt) error {
+	switch s.What.Text {
+	case "impls":
+		impls, err := env.DB.Impls()
+		if err != nil {
+			return err
+		}
+		for _, im := range impls {
+			fmt.Fprintf(env.Out, "%-12s %-18s %-12s width %d..%d area %g delay %g  %s\n",
+				im.Name, im.Component, im.Style, im.WidthMin, im.WidthMax,
+				im.Area, im.Delay, genus.FunctionSetKey(im.Functions))
+		}
+	case "components":
+		for _, ct := range genus.AllComponentTypes() {
+			fns, err := env.DB.ComponentFunctions(ct)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(env.Out, "%-18s %s\n", ct, joinFns(fns))
+		}
+	case "functions":
+		for _, fn := range genus.AllFunctions() {
+			if a, ok := genus.Arity(fn); ok {
+				fmt.Fprintf(env.Out, "%-10s %d in, %d out\n", fn, a.Inputs, a.Outputs)
+			} else {
+				fmt.Fprintf(env.Out, "%s\n", fn)
+			}
+		}
+	}
+	return nil
+}
+
+// execDescribe prints the full record of one implementation, its IIF
+// source indented beneath the attributes.
+func (env *Env) execDescribe(s *DescribeStmt) error {
+	im, err := env.DB.ImplByName(s.Name.Text)
+	if err != nil {
+		return &Error{Col: s.Name.Col,
+			Msg:  "unknown implementation '" + s.Name.Text + "'",
+			Hint: suggest(s.Name.Text, implNames(env.DB))}
+	}
+	w := env.Out
+	fmt.Fprintf(w, "name:      %s\n", im.Name)
+	fmt.Fprintf(w, "component: %s\n", im.Component)
+	fmt.Fprintf(w, "style:     %s\n", im.Style)
+	fmt.Fprintf(w, "functions: %s\n", joinFns(im.Functions))
+	fmt.Fprintf(w, "width:     %d..%d bits\n", im.WidthMin, im.WidthMax)
+	fmt.Fprintf(w, "stages:    %d\n", im.Stages)
+	fmt.Fprintf(w, "area:      %g (per bit)\n", im.Area)
+	fmt.Fprintf(w, "delay:     %g (per bit)\n", im.Delay)
+	fmt.Fprintf(w, "params:    %s\n", strings.Join(im.Params, ","))
+	fmt.Fprintln(w, "source:")
+	for _, line := range strings.Split(strings.Trim(im.Source, "\n"), "\n") {
+		fmt.Fprintf(w, "  | %s\n", line)
+	}
+	return nil
+}
+
+// execExpand reads, parses, and flattens an IIF design against the
+// database, printing the expanded equation network.
+func (env *Env) execExpand(s *ExpandStmt) error {
+	if env.ReadFile == nil {
+		return errf(s.Path.Col, "expand is not available in this session")
+	}
+	src, err := env.ReadFile(s.Path.Text)
+	if err != nil {
+		return errf(s.Path.Col, "%v", err)
+	}
+	params := make(map[string]int, len(s.Params))
+	for _, p := range s.Params {
+		params[p.Name.Text] = p.Value
+	}
+	d, err := iif.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	if env.expander == nil {
+		env.expander = expand.New(env.DB)
+	}
+	net, err := env.expander.Expand(d, params)
+	if err != nil {
+		return err
+	}
+	if err := net.Validate(); err != nil {
+		return fmt.Errorf("expanded network is malformed: %w", err)
+	}
+	if _, err := net.TopoOrder(); err != nil {
+		return err
+	}
+	_, err = io.WriteString(env.Out, net.Format())
+	return err
+}

@@ -1,0 +1,368 @@
+package cql
+
+import (
+	"strings"
+
+	"icdb/internal/icdb"
+)
+
+// The keyword vocabularies of the grammar, one per decision point, in
+// the order CQL.md documents them. They drive both parsing and the
+// "did you mean" suggestions on typos. Attribute and order-key words
+// come from the engine (icdb.ConstraintAttrs, icdb.OrderKeys), so an
+// attribute added there is immediately queryable here; "width" is this
+// layer's sugar over the width range (see compileCond).
+var (
+	commandWords  = []string{"find", "show", "describe", "expand", "help"}
+	targetWords   = []string{"component", "components", "impls"}
+	clauseWords   = []string{"of", "executing", "with", "order", "limit"}
+	attrWords     = append(icdb.ConstraintAttrs(), "width")
+	orderKeyWords = icdb.OrderKeys()
+	showWords     = []string{"impls", "components", "functions"}
+)
+
+// Parse parses one CQL command line into its typed AST. Errors are
+// *Error values positioned at the offending token, with keyword
+// suggestions for near-miss typos. Parsing validates the grammar and
+// its keyword vocabularies; function, component, and implementation
+// names are validated by the compiler (CompileFind, Env.Exec), which
+// positions its errors the same way.
+func Parse(src string) (Stmt, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.command()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.cur(); t.Kind != EOF {
+		return nil, errf(t.Col, "unexpected %s after complete command", describe(t))
+	}
+	return stmt, nil
+}
+
+type parser struct {
+	toks []Token
+	i    int
+}
+
+func (p *parser) cur() Token { return p.toks[p.i] }
+
+func (p *parser) advance() Token {
+	t := p.toks[p.i]
+	if t.Kind != EOF {
+		p.i++
+	}
+	return t
+}
+
+// kw consumes the current token if it is the word s (case-insensitive).
+func (p *parser) kw(s string) bool {
+	t := p.cur()
+	if t.Kind == WORD && strings.EqualFold(t.Text, s) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+// atKw reports whether the current token is the word s, without
+// consuming it.
+func (p *parser) atKw(s string) bool {
+	t := p.cur()
+	return t.Kind == WORD && strings.EqualFold(t.Text, s)
+}
+
+// sep consumes an "and" keyword or a comma, the two interchangeable
+// list separators.
+func (p *parser) sep() bool {
+	if p.cur().Kind == COMMA {
+		p.advance()
+		return true
+	}
+	return p.kw("and")
+}
+
+// describe renders a token for an error message.
+func describe(t Token) string {
+	switch t.Kind {
+	case EOF:
+		return "end of command"
+	case WORD:
+		return "'" + t.Text + "'"
+	case NUMBER:
+		return "number " + t.Text
+	case STRING:
+		return "string"
+	}
+	return t.Kind.String()
+}
+
+// keywordIn matches the current WORD token against a vocabulary,
+// case-insensitively, returning the canonical (lower-case) form.
+func keywordIn(t Token, vocab []string) (string, bool) {
+	if t.Kind != WORD {
+		return "", false
+	}
+	for _, w := range vocab {
+		if strings.EqualFold(t.Text, w) {
+			return w, true
+		}
+	}
+	return "", false
+}
+
+// command parses the top-level production: one of the five command
+// forms.
+func (p *parser) command() (Stmt, error) {
+	t := p.cur()
+	cmd, ok := keywordIn(t, commandWords)
+	if !ok {
+		if t.Kind == WORD {
+			return nil, &Error{Col: t.Col,
+				Msg:  "unknown command '" + t.Text + "'",
+				Hint: suggest(t.Text, commandWords)}
+		}
+		return nil, errf(t.Col, "expected a command (find, show, describe, expand, or help), got %s", describe(t))
+	}
+	p.advance()
+	switch cmd {
+	case "find":
+		return p.find()
+	case "show":
+		return p.show()
+	case "describe":
+		return p.describeCmd()
+	case "expand":
+		return p.expand()
+	}
+	return &HelpStmt{}, nil
+}
+
+// find parses
+//
+//	"find" Target [OfType] [Executing] [With] [OrderBy] [Limit]
+//
+// with the clauses in that fixed order.
+func (p *parser) find() (Stmt, error) {
+	t := p.cur()
+	if _, ok := keywordIn(t, targetWords); !ok {
+		return nil, &Error{Col: t.Col,
+			Msg:  "expected 'component' (or 'components', 'impls') after 'find', got " + describe(t),
+			Hint: suggestWord(t, targetWords)}
+	}
+	f := &FindStmt{Target: Word{Text: t.Text, Col: t.Col}}
+	p.advance()
+
+	if p.atKw("of") {
+		p.advance()
+		if !p.kw("type") {
+			return nil, errf(p.cur().Col, "expected 'type' after 'of' (as in \"of type Counter\"), got %s", describe(p.cur()))
+		}
+		n := p.cur()
+		if n.Kind != WORD {
+			return nil, errf(n.Col, "expected component type after 'of type', got %s", describe(n))
+		}
+		p.advance()
+		f.Type = &Word{Text: n.Text, Col: n.Col}
+	}
+
+	if p.atKw("executing") {
+		p.advance()
+		for {
+			n := p.cur()
+			if n.Kind != WORD {
+				return nil, errf(n.Col, "expected function name after '%s', got %s", prevSep(f.Executing), describe(n))
+			}
+			p.advance()
+			f.Executing = append(f.Executing, Word{Text: n.Text, Col: n.Col})
+			if !p.sep() {
+				break
+			}
+		}
+	}
+
+	if p.atKw("with") {
+		p.advance()
+		after := "'with'"
+		for {
+			cond, err := p.cond(after)
+			if err != nil {
+				return nil, err
+			}
+			f.Where = append(f.Where, *cond)
+			if !p.sep() {
+				break
+			}
+			after = "'and'"
+		}
+	}
+
+	if p.atKw("order") {
+		p.advance()
+		if !p.kw("by") {
+			return nil, errf(p.cur().Col, "expected 'by' after 'order', got %s", describe(p.cur()))
+		}
+		k := p.cur()
+		key, ok := keywordIn(k, orderKeyWords)
+		if !ok {
+			if strings.EqualFold(k.Text, "width") {
+				// The one near-miss the grammar itself invites: width is a
+				// constraint sugar, not a sortable attribute.
+				return nil, errf(k.Col, "cannot order by 'width' (it is sugar over the width range); order by width_min or width_max")
+			}
+			if k.Kind == WORD {
+				e := &Error{Col: k.Col,
+					Msg:  "unknown order key '" + k.Text + "'",
+					Hint: suggest(k.Text, orderKeyWords)}
+				if e.Hint == "" {
+					e.Msg += " (valid: " + strings.Join(orderKeyWords, ", ") + ")"
+				}
+				return nil, e
+			}
+			return nil, errf(k.Col, "expected order key after 'order by' (%s), got %s", strings.Join(orderKeyWords, ", "), describe(k))
+		}
+		p.advance()
+		f.OrderBy = &OrderClause{Key: Word{Text: key, Col: k.Col}}
+		if p.kw("desc") {
+			f.OrderBy.Desc = true
+		} else {
+			p.kw("asc")
+		}
+	}
+
+	if p.atKw("limit") {
+		p.advance()
+		n := p.cur()
+		if n.Kind != NUMBER || !n.IsInt || n.Val < 0 {
+			return nil, errf(n.Col, "expected non-negative integer after 'limit', got %s", describe(n))
+		}
+		p.advance()
+		f.Limit = int(n.Val)
+		f.HasLimit = true
+	}
+
+	// Anything left is either a clause out of canonical order (or
+	// duplicated) or an unknown keyword worth a suggestion.
+	if t := p.cur(); t.Kind == WORD {
+		if kw, ok := keywordIn(t, clauseWords); ok {
+			return nil, errf(t.Col, "clause '%s' is out of order or duplicated (clause order: of type, executing, with, order by, limit)", kw)
+		}
+		return nil, &Error{Col: t.Col,
+			Msg:  "unknown keyword '" + t.Text + "'",
+			Hint: suggest(t.Text, clauseWords)}
+	}
+	return f, nil
+}
+
+// prevSep names the token a function list element follows, for error
+// messages: 'executing' for the first element, 'and' afterwards.
+func prevSep(sofar []Word) string {
+	if len(sofar) == 0 {
+		return "executing"
+	}
+	return "and"
+}
+
+// cond parses one attribute comparison: Attr CmpOp Number. after names
+// the preceding keyword for error positions ("expected attribute after
+// 'with'").
+func (p *parser) cond(after string) (*Cond, error) {
+	a := p.cur()
+	if a.Kind != WORD {
+		return nil, errf(a.Col, "expected attribute after %s, got %s", after, describe(a))
+	}
+	attr, ok := keywordIn(a, attrWords)
+	if !ok {
+		return nil, &Error{Col: a.Col,
+			Msg:  "unknown attribute '" + a.Text + "'",
+			Hint: suggest(a.Text, attrWords)}
+	}
+	p.advance()
+	op := p.cur()
+	switch op.Kind {
+	case LE, LT, GE, GT, EQ, NE:
+	default:
+		return nil, errf(op.Col, "expected comparison operator (<=, <, >=, >, =, !=) after '%s', got %s", a.Text, describe(op))
+	}
+	p.advance()
+	v := p.cur()
+	if v.Kind != NUMBER {
+		return nil, errf(v.Col, "expected number after '%s', got %s", op.Text, describe(v))
+	}
+	p.advance()
+	return &Cond{
+		Attr:       Word{Text: attr, Col: a.Col},
+		Op:         op.Kind,
+		OpText:     op.Text,
+		OpCol:      op.Col,
+		Value:      v.Val,
+		ValueIsInt: v.IsInt,
+		ValueCol:   v.Col,
+	}, nil
+}
+
+// show parses "show" ("impls" | "components" | "functions").
+func (p *parser) show() (Stmt, error) {
+	t := p.cur()
+	what, ok := keywordIn(t, showWords)
+	if !ok {
+		if t.Kind == WORD {
+			return nil, &Error{Col: t.Col,
+				Msg:  "unknown listing '" + t.Text + "'",
+				Hint: suggest(t.Text, showWords)}
+		}
+		return nil, errf(t.Col, "expected 'impls', 'components', or 'functions' after 'show', got %s", describe(t))
+	}
+	p.advance()
+	return &ShowStmt{What: Word{Text: what, Col: t.Col}}, nil
+}
+
+// describeCmd parses "describe" Name.
+func (p *parser) describeCmd() (Stmt, error) {
+	t := p.cur()
+	if t.Kind != WORD && t.Kind != STRING {
+		return nil, errf(t.Col, "expected implementation name after 'describe', got %s", describe(t))
+	}
+	p.advance()
+	return &DescribeStmt{Name: Word{Text: t.Text, Col: t.Col}}, nil
+}
+
+// expand parses "expand" Path { Name "=" Int }.
+func (p *parser) expand() (Stmt, error) {
+	t := p.cur()
+	if t.Kind != WORD && t.Kind != STRING {
+		return nil, errf(t.Col, "expected design file (or '-' for stdin) after 'expand', got %s", describe(t))
+	}
+	p.advance()
+	e := &ExpandStmt{Path: Word{Text: t.Text, Col: t.Col}}
+	for p.cur().Kind != EOF {
+		n := p.cur()
+		if n.Kind != WORD {
+			return nil, errf(n.Col, "expected parameter name, got %s", describe(n))
+		}
+		p.advance()
+		if p.cur().Kind != EQ {
+			return nil, errf(p.cur().Col, "expected '=' after parameter name '%s', got %s", n.Text, describe(p.cur()))
+		}
+		p.advance()
+		v := p.cur()
+		if v.Kind != NUMBER || !v.IsInt {
+			return nil, errf(v.Col, "expected integer value for parameter '%s', got %s", n.Text, describe(v))
+		}
+		p.advance()
+		e.Params = append(e.Params, ExpandParam{Name: Word{Text: n.Text, Col: n.Col}, Value: int(v.Val)})
+	}
+	return e, nil
+}
+
+// suggestWord suggests a replacement for a WORD token, or "" for other
+// token kinds.
+func suggestWord(t Token, vocab []string) string {
+	if t.Kind != WORD {
+		return ""
+	}
+	return suggest(t.Text, vocab)
+}

@@ -1,0 +1,50 @@
+package cql
+
+import "strings"
+
+// maxSuggestDist bounds how far a typo may be from a vocabulary word to
+// still earn a "did you mean" hint. Two edits covers transpositions and
+// the common doubled/dropped letter without suggesting nonsense.
+const maxSuggestDist = 2
+
+// suggest returns the vocabulary word closest to got (case-insensitive
+// Levenshtein distance, at most maxSuggestDist edits), or "" when
+// nothing is close enough. Ties go to the earlier vocabulary entry so
+// suggestions are deterministic.
+func suggest(got string, vocab []string) string {
+	got = strings.ToLower(got)
+	best, bestDist := "", maxSuggestDist+1
+	for _, w := range vocab {
+		if d := editDistance(got, strings.ToLower(w)); d < bestDist {
+			best, bestDist = w, d
+		}
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance between a and b, computed
+// with a rolling single row.
+func editDistance(a, b string) int {
+	if a == b {
+		return 0
+	}
+	row := make([]int, len(b)+1)
+	for j := range row {
+		row[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		prevDiag := row[0]
+		row[0] = i
+		for j := 1; j <= len(b); j++ {
+			ins := row[j-1] + 1
+			del := row[j] + 1
+			sub := prevDiag
+			if a[i-1] != b[j-1] {
+				sub++
+			}
+			prevDiag = row[j]
+			row[j] = min(ins, del, sub)
+		}
+	}
+	return row[len(b)]
+}

@@ -1,0 +1,116 @@
+// Package cql implements the Component Query Language front-end: the
+// textual command interface synthesis tools use to talk to the ICDB
+// without linking Go code (§5 of the paper). It lexes and parses
+// commands such as
+//
+//	find component executing STORAGE with area <= 10 order by delay limit 5
+//	show impls
+//	describe ripple_ctr
+//	expand counter.iif size=8
+//
+// into a typed AST (Parse) and compiles them onto the existing engine
+// (Env.Exec, CompileFind): query-by-function, attribute constraints,
+// ordered ranking, and IIF expansion. Parse errors carry the column of
+// the offending token and, for misspelled keywords, a "did you mean"
+// suggestion. The grammar is specified in CQL.md, next to this package.
+package cql
+
+import "fmt"
+
+// Kind classifies a lexical token.
+type Kind int
+
+// The token kinds of the CQL lexer. Keywords are not lexed specially:
+// they are WORD tokens the parser matches case-insensitively, so "FIND",
+// "find", and signal-ish names never collide at the lexer level.
+const (
+	// EOF terminates every token stream.
+	EOF Kind = iota
+	// WORD is a bare word: a keyword, attribute, function, component,
+	// implementation name, or file path (letters, digits, '_', '.', '/',
+	// '~', '-').
+	WORD
+	// NUMBER is an integer or decimal literal such as 5, 10.5, or -3.
+	NUMBER
+	// STRING is a double-quoted string, for paths containing spaces.
+	STRING
+	// LE, LT, GE, GT, EQ, NE are the comparison operators <=, <, >=, >,
+	// = (or ==), and !=.
+	LE
+	LT
+	GE
+	GT
+	EQ
+	NE
+	// COMMA separates list elements; accepted wherever "and" is.
+	COMMA
+)
+
+// String renders the kind for diagnostics ("expected NUMBER, got ...").
+func (k Kind) String() string {
+	switch k {
+	case EOF:
+		return "end of command"
+	case WORD:
+		return "word"
+	case NUMBER:
+		return "number"
+	case STRING:
+		return "string"
+	case LE:
+		return "'<='"
+	case LT:
+		return "'<'"
+	case GE:
+		return "'>='"
+	case GT:
+		return "'>'"
+	case EQ:
+		return "'='"
+	case NE:
+		return "'!='"
+	case COMMA:
+		return "','"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Token is one lexical token with its 1-based source column.
+type Token struct {
+	Kind Kind
+	// Text is the raw source text of the token (unquoted for STRING).
+	Text string
+	// Val is the numeric value of a NUMBER token.
+	Val float64
+	// IsInt reports whether a NUMBER token was written without a
+	// fractional part, so it can be used where an integer is required
+	// (limit counts, expand parameter values).
+	IsInt bool
+	// Col is the 1-based column of the token's first character.
+	Col int
+}
+
+// Error is a CQL front-end error carrying the 1-based column of the
+// offending token and an optional "did you mean" suggestion.
+type Error struct {
+	Col  int
+	Msg  string
+	Hint string
+}
+
+// Error renders as e.g.
+//
+//	cql: expected attribute after 'with' at col 34
+//	cql: unknown keyword "exectuing" at col 16 (did you mean "executing"?)
+func (e *Error) Error() string {
+	s := fmt.Sprintf("cql: %s at col %d", e.Msg, e.Col)
+	if e.Hint != "" {
+		s += fmt.Sprintf(" (did you mean %q?)", e.Hint)
+	}
+	return s
+}
+
+// errf builds a positioned Error with no suggestion.
+func errf(col int, format string, args ...any) *Error {
+	return &Error{Col: col, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,155 @@
+// Package docs holds repo-wide documentation conformance tests. It has
+// no runtime code: the tests are the deliverable.
+package docs
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// checkedPackages are the directories whose exported identifiers must
+// all carry doc comments (the revive/golint "exported" rule): the
+// engine, the store, and the CQL front-end.
+var checkedPackages = []string{
+	"../icdb",
+	"../relstore",
+	"../cql",
+	"../genus",
+}
+
+// TestExportedIdentifiersAreDocumented walks every non-test file of the
+// checked packages and fails for each exported top-level identifier
+// (function, method, type, const, var) without a doc comment. Grouped
+// const/var/type declarations may be covered by one comment on the
+// group. Function and type comments must start with the identifier's
+// name, godoc style.
+func TestExportedIdentifiersAreDocumented(t *testing.T) {
+	for _, dir := range checkedPackages {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("read %s: %v", dir, err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			checkFile(t, filepath.Join(dir, name))
+		}
+	}
+}
+
+func checkFile(t *testing.T, path string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	pos := func(n ast.Node) string {
+		p := fset.Position(n.Pos())
+		return fmt.Sprintf("%s:%d", p.Filename, p.Line)
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || !receiverExported(d) {
+				continue
+			}
+			if d.Doc == nil {
+				t.Errorf("%s: exported %s %s has no doc comment", pos(d), declKind(d), d.Name.Name)
+				continue
+			}
+			requireNamePrefix(t, pos(d), declKind(d), d.Name.Name, d.Doc.Text())
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if !s.Name.IsExported() {
+						continue
+					}
+					doc := s.Doc
+					if doc == nil {
+						doc = d.Doc
+					}
+					if doc == nil {
+						t.Errorf("%s: exported type %s has no doc comment", pos(s), s.Name.Name)
+						continue
+					}
+					requireNamePrefix(t, pos(s), "type", s.Name.Name, doc.Text())
+				case *ast.ValueSpec:
+					if d.Doc != nil || s.Doc != nil {
+						continue
+					}
+					for _, n := range s.Names {
+						if n.IsExported() {
+							t.Errorf("%s: exported %s %s has no doc comment (neither on it nor on its group)",
+								pos(s), kindWord(d.Tok.String()), n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// receiverExported reports whether a method's receiver type is itself
+// exported; methods on unexported types are not part of the API surface.
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// requireNamePrefix enforces the godoc convention that a function or
+// type comment begins with the identifier it documents.
+func requireNamePrefix(t *testing.T, pos, kind, name, doc string) {
+	t.Helper()
+	if !strings.HasPrefix(doc, name+" ") && !strings.HasPrefix(doc, name+"\n") {
+		t.Errorf("%s: doc comment for %s %s should start with %q, got %q",
+			pos, kind, name, name, firstLine(doc))
+	}
+}
+
+func declKind(d *ast.FuncDecl) string {
+	if d.Recv != nil {
+		return "method"
+	}
+	return "function"
+}
+
+func kindWord(tok string) string {
+	switch tok {
+	case "const":
+		return "constant"
+	case "var":
+		return "variable"
+	}
+	return tok
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

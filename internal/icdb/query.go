@@ -3,7 +3,9 @@ package icdb
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
+	"strings"
 
 	"icdb/internal/genus"
 	"icdb/internal/iif"
@@ -87,6 +89,59 @@ func MaxDelay(d float64) Constraint {
 		src:  fmt.Sprintf("delay <= %g", d),
 		pass: func(a Attrs) (bool, error) { return a["delay"] <= d, nil },
 	}
+}
+
+// CmpOp is a comparison operator accepted by AttrCmp.
+type CmpOp string
+
+// The comparison operators of AttrCmp constraints. CmpEQ and CmpNE
+// compare exactly (no epsilon): they are meant for integer-valued
+// attributes such as stages and the width bounds.
+const (
+	CmpLE CmpOp = "<="
+	CmpLT CmpOp = "<"
+	CmpGE CmpOp = ">="
+	CmpGT CmpOp = ">"
+	CmpEQ CmpOp = "="
+	CmpNE CmpOp = "!="
+)
+
+// ConstraintAttrs returns the attribute vocabulary implementations expose
+// to constraints and Order keys, in deterministic order: width_min and
+// width_max (the bit-width range, in bits), stages (pipeline stages), and
+// the per-bit area and delay estimates.
+func ConstraintAttrs() []string {
+	return []string{"area", "delay", "stages", "width_min", "width_max"}
+}
+
+// AttrCmp builds the single-comparison constraint "attr op v" directly,
+// without going through the IIF expression parser — unlike Where it
+// accepts non-integer values ("area <= 10.5") and validates the
+// attribute name eagerly against ConstraintAttrs. It is the primitive
+// the CQL front-end compiles "with" clauses onto.
+func AttrCmp(attr string, op CmpOp, v float64) (Constraint, error) {
+	if !slices.Contains(ConstraintAttrs(), attr) {
+		return Constraint{}, fmt.Errorf("icdb: unknown constraint attribute %q (have %s)",
+			attr, strings.Join(ConstraintAttrs(), ", "))
+	}
+	var pass func(Attrs) (bool, error)
+	switch op {
+	case CmpLE:
+		pass = func(a Attrs) (bool, error) { return a[attr] <= v, nil }
+	case CmpLT:
+		pass = func(a Attrs) (bool, error) { return a[attr] < v, nil }
+	case CmpGE:
+		pass = func(a Attrs) (bool, error) { return a[attr] >= v, nil }
+	case CmpGT:
+		pass = func(a Attrs) (bool, error) { return a[attr] > v, nil }
+	case CmpEQ:
+		pass = func(a Attrs) (bool, error) { return a[attr] == v, nil }
+	case CmpNE:
+		pass = func(a Attrs) (bool, error) { return a[attr] != v, nil }
+	default:
+		return Constraint{}, fmt.Errorf("icdb: unknown comparison operator %q", op)
+	}
+	return Constraint{src: fmt.Sprintf("%s %s %g", attr, op, v), pass: pass}, nil
 }
 
 // evalAttr evaluates an attribute expression with C semantics: '+' adds,
@@ -196,11 +251,68 @@ func attrNames(a Attrs) []string {
 // Candidate is one ranked query answer. The implementation's component
 // type is available as Impl.Component.
 type Candidate struct {
+	// Impl is a caller-owned copy of the matching implementation (see
+	// Impl.Clone), except in the streaming Scan queries, which share the
+	// cache's backing and document the read-only contract themselves.
 	Impl Impl
 	// Cost is the ranking score: Area*area_weight + Delay*delay_weight,
 	// with weights taken from tool parameters (tool "icdb", defaulting to
-	// 1). Lower is better.
+	// 1). Lower is better. Cost carries the weighted score even when a
+	// query is Ordered by a different attribute.
 	Cost float64
+}
+
+// OrderKeyCost is the Order.Attr value (also the zero value's meaning)
+// that ranks by the weighted cost score rather than a raw attribute.
+const OrderKeyCost = "cost"
+
+// Order selects the sort key of a ranked (non-Scan) query. The zero
+// Order is the engine's default ranking: weighted cost, cheapest first.
+// Attr may be OrderKeyCost or any attribute in ConstraintAttrs; Desc
+// reverses the direction. Ties are always broken by implementation name,
+// ascending, regardless of direction — so an order is total and a
+// bounded (TopK) query returns the same candidates as an unbounded one
+// truncated.
+type Order struct {
+	Attr string
+	Desc bool
+}
+
+// OrderKeys returns every valid Order.Attr value in deterministic order.
+func OrderKeys() []string {
+	return append([]string{OrderKeyCost}, ConstraintAttrs()...)
+}
+
+// validate rejects unknown sort keys eagerly, before any row is visited.
+func (o Order) validate() error {
+	if o.Attr == "" || o.Attr == OrderKeyCost || slices.Contains(ConstraintAttrs(), o.Attr) {
+		return nil
+	}
+	return fmt.Errorf("icdb: unknown order key %q (have %s)", o.Attr, strings.Join(OrderKeys(), ", "))
+}
+
+// rank computes im's sort key under o: the value candidates are compared
+// by, negated for descending orders so ranking logic is always
+// ascending.
+func (o Order) rank(im *Impl, cost float64) float64 {
+	v := cost
+	switch o.Attr {
+	case "", OrderKeyCost:
+	case "area":
+		v = im.Area
+	case "delay":
+		v = im.Delay
+	case "stages":
+		v = float64(im.Stages)
+	case "width_min":
+		v = float64(im.WidthMin)
+	case "width_max":
+		v = float64(im.WidthMax)
+	}
+	if o.Desc {
+		return -v
+	}
+	return v
 }
 
 // rankWeights reads the ranking weights from the tool-parameters
@@ -254,9 +366,38 @@ func (db *DB) QueryByFunctionTopK(fn genus.Function, k int, cs ...Constraint) ([
 // QueryByFunctionsTopK is QueryByFunctions bounded to the k cheapest
 // candidates (k <= 0 means unbounded).
 func (db *DB) QueryByFunctionsTopK(fns []genus.Function, k int, cs ...Constraint) ([]Candidate, error) {
+	return db.QueryByFunctionsOrdered(fns, Order{}, k, cs...)
+}
+
+// QueryByFunctionsOrdered is QueryByFunctionsTopK under an explicit sort
+// key: candidates executing every function in fns, ranked by order,
+// bounded to the best k (k <= 0 means unbounded). It is the engine entry
+// point for CQL "find … order by …" commands.
+func (db *DB) QueryByFunctionsOrdered(fns []genus.Function, order Order, k int, cs ...Constraint) ([]Candidate, error) {
 	return db.rankSeq(func(visit func(*Impl) bool) error {
 		return db.forEachByFunctions(fns, visit)
-	}, cs, k)
+	}, cs, k, order)
+}
+
+// QueryByFunctionsOfTypeOrdered is QueryByFunctionsOrdered restricted
+// to one component type: candidates must execute every function in fns
+// and be implementations of ct. The type filter applies in-stream,
+// before the TopK heap, so a bounded query clones O(k) implementations
+// like every other ranked path. It serves CQL find commands combining
+// "of type" with "executing".
+func (db *DB) QueryByFunctionsOfTypeOrdered(fns []genus.Function, ct genus.ComponentType, order Order, k int, cs ...Constraint) ([]Candidate, error) {
+	nct, ok := genus.NormalizeComponentType(string(ct))
+	if !ok {
+		return nil, fmt.Errorf("icdb: unknown component type %q", ct)
+	}
+	return db.rankSeq(func(visit func(*Impl) bool) error {
+		return db.forEachByFunctions(fns, func(im *Impl) bool {
+			if im.Component != nct {
+				return true
+			}
+			return visit(im)
+		})
+	}, cs, k, order)
 }
 
 // QueryByComponent returns the ranked implementations of one component
@@ -268,9 +409,23 @@ func (db *DB) QueryByComponent(ct genus.ComponentType, cs ...Constraint) ([]Cand
 // QueryByComponentTopK is QueryByComponent bounded to the k cheapest
 // candidates (k <= 0 means unbounded).
 func (db *DB) QueryByComponentTopK(ct genus.ComponentType, k int, cs ...Constraint) ([]Candidate, error) {
+	return db.QueryByComponentOrdered(ct, Order{}, k, cs...)
+}
+
+// QueryByComponentOrdered is QueryByComponentTopK under an explicit sort
+// key (see Order).
+func (db *DB) QueryByComponentOrdered(ct genus.ComponentType, order Order, k int, cs ...Constraint) ([]Candidate, error) {
 	return db.rankSeq(func(visit func(*Impl) bool) error {
 		return db.forEachByComponent(ct, visit)
-	}, cs, k)
+	}, cs, k, order)
+}
+
+// QueryOrdered ranks the whole catalog: every registered implementation
+// passing cs, sorted by order, bounded to the best k (k <= 0 means
+// unbounded). It serves CQL "find component" commands that select by
+// attribute alone, with no function or component-type filter.
+func (db *DB) QueryOrdered(order Order, k int, cs ...Constraint) ([]Candidate, error) {
+	return db.rankSeq(db.forEachImpl, cs, k, order)
 }
 
 // ---- streaming core ----
@@ -355,9 +510,9 @@ func (db *DB) forEachImpl(visit func(*Impl) bool) error {
 // acceptAll evaluates the constraints against im's attributes. The
 // attribute map pointed to by attrs is allocated once and refilled per
 // candidate: constraints are only constructible inside this package
-// (Where, ForWidth, MaxArea, MaxDelay) and none retains the map, so
-// reuse is sound and keeps constrained streaming at O(1) allocations
-// per row.
+// (Where, AttrCmp, ForWidth, MaxArea, MaxDelay) and none retains the
+// map — an invariant every new constructor must keep — so reuse is
+// sound and keeps constrained streaming at O(1) allocations per row.
 func acceptAll(cs []Constraint, im *Impl, attrs *Attrs) (bool, error) {
 	if len(cs) == 0 {
 		return true, nil
@@ -376,13 +531,18 @@ func acceptAll(cs []Constraint, im *Impl, attrs *Attrs) (bool, error) {
 }
 
 // rankSeq materializes the ranked answer of one streamed query:
-// survivors of the constraints, scored and returned cheapest-first (ties
-// broken by name). With k > 0 it keeps a worst-on-top heap of k entries
-// fed directly from the stream, so an unbounded result set is never
-// materialized or fully sorted.
-func (db *DB) rankSeq(seq implSeq, cs []Constraint, k int) ([]Candidate, error) {
+// survivors of the constraints, scored, and returned best-first under
+// order (ties broken by name). With k > 0 it keeps a worst-on-top heap
+// of k entries fed directly from the stream, so an unbounded result set
+// is never materialized or fully sorted. Cloning the retained
+// implementations is deferred until after the stream: cached *Impl
+// values are immutable and stay valid past the index lock.
+func (db *DB) rankSeq(seq implSeq, cs []Constraint, k int, order Order) ([]Candidate, error) {
+	if err := order.validate(); err != nil {
+		return nil, err
+	}
 	wa, wd := db.rankWeights() // before the stream: rankWeights takes the cache lock itself
-	var out []Candidate
+	var kept []heapItem
 	var attrs Attrs
 	var cerr error
 	h := candHeap{limit: k}
@@ -396,10 +556,11 @@ func (db *DB) rankSeq(seq implSeq, cs []Constraint, k int) ([]Candidate, error) 
 			return true
 		}
 		cost := im.Area*wa + im.Delay*wd
+		it := heapItem{im: im, cost: cost, rank: order.rank(im, cost)}
 		if k > 0 {
-			h.offer(im, cost)
+			h.offer(it)
 		} else {
-			out = append(out, Candidate{Impl: im.Clone(), Cost: cost})
+			kept = append(kept, it)
 		}
 		return true
 	})
@@ -410,14 +571,14 @@ func (db *DB) rankSeq(seq implSeq, cs []Constraint, k int) ([]Candidate, error) 
 		return nil, cerr
 	}
 	if k > 0 {
-		out = h.take()
+		kept = h.items
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Cost != out[j].Cost {
-			return out[i].Cost < out[j].Cost
-		}
-		return out[i].Impl.Name < out[j].Impl.Name
-	})
+	// kept[i] sorts before kept[j] exactly when j ranks strictly after i.
+	sort.SliceStable(kept, func(i, j int) bool { return worse(kept[j], kept[i]) })
+	out := make([]Candidate, len(kept))
+	for i, it := range kept {
+		out[i] = Candidate{Impl: it.im.Clone(), Cost: it.cost}
+	}
 	return out, nil
 }
 
@@ -484,29 +645,32 @@ func (db *DB) QueryScan(visit func(Candidate) bool, cs ...Constraint) error {
 	return db.scanSeq(db.forEachImpl, cs, visit)
 }
 
-// candHeap is a bounded worst-on-top heap over (cost, name): the root is
+// candHeap is a bounded worst-on-top heap over (rank, name): the root is
 // the worst candidate retained, so a better offer evicts it in O(log k).
 type candHeap struct {
 	limit int
 	items []heapItem
 }
 
+// heapItem is one retained candidate mid-ranking: rank is the Order sort
+// key (already negated for descending orders), cost the weighted score
+// reported in the final Candidate.
 type heapItem struct {
 	im   *Impl
 	cost float64
+	rank float64
 }
 
-// worse reports whether a ranks strictly after b (higher cost, name as
+// worse reports whether a ranks strictly after b (higher rank, name as
 // tie-break — the exact inverse of the final result order).
 func worse(a, b heapItem) bool {
-	if a.cost != b.cost {
-		return a.cost > b.cost
+	if a.rank != b.rank {
+		return a.rank > b.rank
 	}
 	return a.im.Name > b.im.Name
 }
 
-func (h *candHeap) offer(im *Impl, cost float64) {
-	it := heapItem{im: im, cost: cost}
+func (h *candHeap) offer(it heapItem) {
 	if len(h.items) < h.limit {
 		h.items = append(h.items, it)
 		h.up(len(h.items) - 1)
@@ -544,14 +708,4 @@ func (h *candHeap) down(i int) {
 		h.items[i], h.items[worst] = h.items[worst], h.items[i]
 		i = worst
 	}
-}
-
-// take drains the heap into candidates (unordered; the caller sorts).
-func (h *candHeap) take() []Candidate {
-	out := make([]Candidate, len(h.items))
-	for i, it := range h.items {
-		out[i] = Candidate{Impl: it.im.Clone(), Cost: it.cost}
-	}
-	h.items = nil
-	return out
 }

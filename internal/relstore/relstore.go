@@ -63,6 +63,8 @@ const (
 	TBool
 )
 
+// String names the column type the way schema error messages spell it
+// ("string", "int", "float", "bool").
 func (t ColType) String() string {
 	switch t {
 	case TString:
