@@ -255,6 +255,53 @@ func runBench(args []string) error {
 			}
 		})
 
+		// Width-aware cost model: the same ordered TopK query with the
+		// estimator expressions evaluated per candidate at width 16,
+		// against the scalar engine filtered to the same coverage. Every
+		// synthetic implementation carries an "area * width" estimator
+		// (see benchgen.PopulateEstimators), which is order-preserving for
+		// a fixed width, so the two paths must return identical names —
+		// cross-validated before timing. Estimators are registered only
+		// after the save benchmarks above, so the persisted catalogs stay
+		// row-for-row comparable with the BENCH_PR3 trajectory.
+		if err := benchgen.PopulateEstimators(db, n); err != nil {
+			return err
+		}
+		ordFns := []genus.Function{genus.FuncADD}
+		ordScalar, err := db.QueryByFunctionsOrdered(ordFns, icdb.Order{Attr: "area"}, 10, icdb.ForWidth(16))
+		if err != nil {
+			return err
+		}
+		ordWidth, err := db.QueryByFunctionsOrdered(ordFns, icdb.Order{Attr: "area"}, 10, icdb.AtWidth(16))
+		if err != nil {
+			return err
+		}
+		if len(ordScalar) != len(ordWidth) {
+			return fmt.Errorf("size %d: width-aware query yielded %d candidates, scalar %d", n, len(ordWidth), len(ordScalar))
+		}
+		for i := range ordScalar {
+			if ordScalar[i].Impl.Name != ordWidth[i].Impl.Name || ordWidth[i].Area != 16*ordScalar[i].Area {
+				return fmt.Errorf("size %d: width-aware candidate %d = %s/%g, scalar %s/%g",
+					n, i, ordWidth[i].Impl.Name, ordWidth[i].Area, ordScalar[i].Impl.Name, ordScalar[i].Area)
+			}
+		}
+		ordScalarM := measure("query_ordered_scalar", n, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.QueryByFunctionsOrdered(ordFns, icdb.Order{Attr: "area"}, 10, icdb.ForWidth(16)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		ordWidthM := measure("query_ordered_at_width", n, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.QueryByFunctionsOrdered(ordFns, icdb.Order{Attr: "area"}, 10, icdb.AtWidth(16)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+
 		// Release the source catalog before the load benchmarks: loading
 		// is the tool-startup path, and keeping a dead 100k-impl catalog
 		// resident would only add GC noise to both formats' numbers.
@@ -282,6 +329,7 @@ func runBench(args []string) error {
 			compare("query_by_function", n, "full scan (pre-index path)", qIdx, qScan),
 			compare("impl_by_name", n, "full scan (pre-index path)", lIdx, lScan),
 			compare("query_by_function_stream", n, "materialized QueryByFunction", qStream, qIdx),
+			compare("query_ordered_at_width", n, "scalar ordered query (same coverage filter)", ordWidthM, ordScalarM),
 			compare("persistence_round_trip", n, "JSON Save+Load", benchMeasure{
 				NsPerOp:     saveSnap.NsPerOp + loadSnap.NsPerOp,
 				AllocsPerOp: saveSnap.AllocsPerOp + loadSnap.AllocsPerOp,
@@ -291,7 +339,7 @@ func runBench(args []string) error {
 			}),
 		)
 		report.Measurements = append(report.Measurements,
-			qIdx, qScan, qStream, lIdx, lScan, topK,
+			qIdx, qScan, qStream, lIdx, lScan, topK, ordScalarM, ordWidthM,
 			saveJSON, saveSnap, loadJSON, loadSnap)
 
 		if n == 10000 {

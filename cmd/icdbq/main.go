@@ -1,7 +1,8 @@
 // Command icdbq is a small front-end over the ICDB engine: it answers
 // query-by-function requests against the builtin component database,
 // executes textual CQL commands (one-shot or as an interactive REPL),
-// and expands IIF designs to flat equation networks.
+// runs component generators and cost estimators, and expands IIF
+// designs to flat equation networks.
 //
 // Usage:
 //
@@ -9,7 +10,9 @@
 //	icdbq query <function>... [-where <expr>]
 //	icdbq cql "<command>" | icdbq cql -i
 //	icdbq expand <design.iif|-> [param=value...]
-//	icdbq bench [-sizes 1000,10000] [-out BENCH_PR3.json] [-benchtime 300ms] [-guard]
+//	icdbq generate <generator|component> param=value...
+//	icdbq estimate <impl> width=<bits> [area|delay|cost]
+//	icdbq bench [-sizes 1000,10000] [-out BENCH_PR5.json] [-benchtime 300ms] [-guard]
 //
 // The usage lines above are generated from the command table in
 // usage.go and verified by TestDocCommentMatchesUsage; edit them there.
@@ -22,6 +25,7 @@ import (
 	"strconv"
 	"strings"
 
+	"icdb/internal/cql"
 	"icdb/internal/expand"
 	"icdb/internal/genus"
 	"icdb/internal/icdb"
@@ -69,6 +73,12 @@ func run(args []string) error {
 
 	case "expand":
 		return runExpand(db, args[1:])
+
+	case "generate", "estimate":
+		// Both verbs are CQL commands; the subcommands are sugar that
+		// forwards the argument vector as one command line.
+		env := &cql.Env{DB: db, Out: os.Stdout}
+		return env.Exec(strings.Join(args, " "))
 	}
 	return fmt.Errorf("unknown command %q (want %s)", args[0], commandNames())
 }

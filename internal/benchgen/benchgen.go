@@ -73,6 +73,24 @@ func Populate(db *icdb.DB, n int) error {
 	return nil
 }
 
+// PopulateEstimators registers width-scaling estimator expressions for
+// the first n synthetic implementations ("area * width" — the per-bit
+// estimate times the evaluation point — and a constant "delay"), so
+// benchmarks can measure the width-aware query path against a catalog
+// where every candidate pays an estimator evaluation.
+func PopulateEstimators(db *icdb.DB, n int) error {
+	for i := 0; i < n; i++ {
+		name := NameOf(i)
+		if err := db.RegisterEstimator(name, "area", "area * width"); err != nil {
+			return fmt.Errorf("benchgen: estimator %d: %w", i, err)
+		}
+		if err := db.RegisterEstimator(name, "delay", "delay"); err != nil {
+			return fmt.Errorf("benchgen: estimator %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
 // NewDB opens a fresh in-memory database holding the builtin library
 // plus n synthetic implementations.
 func NewDB(n int) (*icdb.DB, error) {
@@ -125,7 +143,7 @@ func FullScanQueryByFunction(db *icdb.DB, fn genus.Function, cs ...icdb.Constrai
 		if !ok {
 			continue
 		}
-		out = append(out, icdb.Candidate{Impl: im, Cost: im.Area*wa + im.Delay*wd})
+		out = append(out, icdb.Candidate{Impl: im, Area: im.Area, Delay: im.Delay, Cost: im.Area*wa + im.Delay*wd})
 	}
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Cost != out[j].Cost {

@@ -1,7 +1,8 @@
 package cql
 
 // Stmt is one parsed CQL command. The concrete types are FindStmt,
-// ShowStmt, DescribeStmt, ExpandStmt, and HelpStmt.
+// ShowStmt, DescribeStmt, ExpandStmt, GenerateStmt, EstimateStmt, and
+// HelpStmt.
 type Stmt interface{ stmt() }
 
 // Word is an identifier-like token with its source column, kept through
@@ -27,6 +28,10 @@ type FindStmt struct {
 	// Where lists the "with" clause's conjunction of attribute
 	// comparisons.
 	Where []Cond
+	// At is the "at width N" evaluation-point clause, nil if absent:
+	// candidates must cover the width, and area/delay are estimator-
+	// evaluated there (see icdb.AtWidth).
+	At *AtClause
 	// OrderBy is the "order by" clause, nil if absent.
 	OrderBy *OrderClause
 	// Limit is the "limit N" bound; 0 means unlimited.
@@ -58,6 +63,14 @@ type OrderClause struct {
 	Desc bool
 }
 
+// AtClause is an "at width N" clause: the width the query's estimator
+// expressions are evaluated at.
+type AtClause struct {
+	Width int
+	// Col is the width number's column, for positioned errors.
+	Col int
+}
+
 // ShowStmt is a "show impls|components|functions" catalog listing.
 type ShowStmt struct {
 	// What is the listing selector: "impls", "components", or
@@ -86,6 +99,27 @@ type ExpandParam struct {
 	Value int
 }
 
+// GenerateStmt is a "generate <generator|component> param=value ..."
+// command: run a component generator at a parameter point and register
+// the emitted implementation (see icdb.Generate). Name is a generator
+// name or a component type whose generators are searched.
+type GenerateStmt struct {
+	Name   Word
+	Params []ExpandParam
+}
+
+// EstimateStmt is an "estimate <impl> width=n [attr]" command: evaluate
+// an implementation's estimator expressions at a width point. Attr
+// restricts the output to one of area, delay, or cost; nil prints all
+// three.
+type EstimateStmt struct {
+	Name  Word
+	Width int
+	// WidthCol is the width number's column, for positioned errors.
+	WidthCol int
+	Attr     *Word
+}
+
 // HelpStmt is the "help" command.
 type HelpStmt struct{}
 
@@ -93,4 +127,6 @@ func (*FindStmt) stmt()     {}
 func (*ShowStmt) stmt()     {}
 func (*DescribeStmt) stmt() {}
 func (*ExpandStmt) stmt()   {}
+func (*GenerateStmt) stmt() {}
+func (*EstimateStmt) stmt() {}
 func (*HelpStmt) stmt()     {}

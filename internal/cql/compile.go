@@ -53,6 +53,12 @@ func CompileFind(db *icdb.DB, f *FindStmt) (*FindQuery, error) {
 		}
 		q.cs = append(q.cs, c)
 	}
+	if f.At != nil {
+		// The evaluation point both restricts candidates to the width and
+		// makes every area/delay the engine filters, ranks, or reports the
+		// estimator value at it.
+		q.cs = append(q.cs, icdb.AtWidth(f.At.Width))
+	}
 	if f.OrderBy != nil {
 		q.order = icdb.Order{Attr: f.OrderBy.Key.Text, Desc: f.OrderBy.Desc}
 		q.ranked = true
@@ -205,6 +211,20 @@ func componentTypeNames() []string {
 	out := make([]string, len(cts))
 	for i, ct := range cts {
 		out[i] = string(ct)
+	}
+	return out
+}
+
+// generatorNames lists the registered generator names, sorted, for
+// generate-command suggestions.
+func generatorNames(db *icdb.DB) []string {
+	gens, err := db.Generators()
+	if err != nil {
+		return nil
+	}
+	out := make([]string, len(gens))
+	for i := range gens {
+		out[i] = gens[i].Name
 	}
 	return out
 }

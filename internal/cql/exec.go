@@ -17,18 +17,24 @@ import (
 var HelpText = fmt.Sprintf(`CQL commands:
   find component [of type <Type>] [executing <Fn> and <Fn>...]
                  [with <attr> <op> <n> and ...]
+                 [at width <bits>]
                  [order by %s [asc|desc]]
                  [limit <n>]
-  show impls | components | functions
+  show impls | components | functions | generators
   describe <impl>
   expand <file|-> [param=value ...]
+  generate <generator|component> param=value ...
+  estimate <impl> width=<bits> [%s]
   help
 
 Attributes: %s.
 Operators:  <=  <  >=  >  =  !=   ("width = 8" means the range covers 8 bits).
+With "at width <bits>", candidates must cover the width and area/delay
+are the estimator expressions evaluated there (scalars when none is
+registered).
 Without "order by"/"limit", results stream in unspecified order; with
 either, they arrive ranked (default key: weighted cost, ascending).
-`, strings.Join(orderKeyWords, "|"), strings.Join(attrWords, ", "))
+`, strings.Join(orderKeyWords, "|"), strings.Join(estimateWords, "|"), strings.Join(attrWords, ", "))
 
 // Env is the execution environment of a CQL session: the database
 // commands run against, the writer results are printed to, and the
@@ -65,6 +71,10 @@ func (env *Env) Exec(src string) error {
 		return env.execDescribe(s)
 	case *ExpandStmt:
 		return env.execExpand(s)
+	case *GenerateStmt:
+		return env.execGenerate(s)
+	case *EstimateStmt:
+		return env.execEstimate(s)
 	case *HelpStmt:
 		_, err := io.WriteString(env.Out, HelpText)
 		return err
@@ -82,9 +92,12 @@ func (env *Env) execFind(f *FindStmt) error {
 	n := 0
 	err = q.Run(func(c icdb.Candidate) bool {
 		n++
+		// Area/Delay are the query-evaluated estimates: the scalars on a
+		// plain find, the estimator values at the width of an "at width"
+		// find.
 		fmt.Fprintf(env.Out, "%d. %-12s %-18s width %d..%d area %g delay %g cost %g\n",
 			n, c.Impl.Name, c.Impl.Component, c.Impl.WidthMin, c.Impl.WidthMax,
-			c.Impl.Area, c.Impl.Delay, c.Cost)
+			c.Area, c.Delay, c.Cost)
 		return true
 	})
 	if err != nil {
@@ -127,6 +140,20 @@ func (env *Env) execShow(s *ShowStmt) error {
 				fmt.Fprintf(env.Out, "%s\n", fn)
 			}
 		}
+	case "generators":
+		gens, err := env.DB.Generators()
+		if err != nil {
+			return err
+		}
+		if len(gens) == 0 {
+			fmt.Fprintln(env.Out, "no registered generators")
+			return nil
+		}
+		for _, g := range gens {
+			fmt.Fprintf(env.Out, "%-12s %-18s %-12s width %d..%d area= %s delay= %s  %s\n",
+				g.Name, g.Component, g.Style, g.WidthMin, g.WidthMax,
+				g.AreaExpr, g.DelayExpr, genus.FunctionSetKey(g.Functions))
+		}
 	}
 	return nil
 }
@@ -150,10 +177,128 @@ func (env *Env) execDescribe(s *DescribeStmt) error {
 	fmt.Fprintf(w, "area:      %g (per bit)\n", im.Area)
 	fmt.Fprintf(w, "delay:     %g (per bit)\n", im.Delay)
 	fmt.Fprintf(w, "params:    %s\n", strings.Join(im.Params, ","))
+	if ests, err := env.DB.Estimators(im.Name); err == nil && len(ests) > 0 {
+		for _, attr := range icdb.EstimatorAttrs() {
+			if expr, ok := ests[attr]; ok {
+				fmt.Fprintf(w, "estimator: %s = %s\n", attr, expr)
+			}
+		}
+	}
 	fmt.Fprintln(w, "source:")
 	for _, line := range strings.Split(strings.Trim(im.Source, "\n"), "\n") {
 		fmt.Fprintf(w, "  | %s\n", line)
 	}
+	return nil
+}
+
+// execGenerate resolves a generator — by exact name, or the cheapest
+// parameter-compatible generator of a component type — runs it at the
+// binding point, and prints the registered implementation.
+func (env *Env) execGenerate(s *GenerateStmt) error {
+	params := make(map[string]int, len(s.Params))
+	for _, p := range s.Params {
+		params[p.Name.Text] = p.Value
+	}
+	g, err := env.DB.GeneratorByName(s.Name.Text)
+	if err != nil {
+		g, err = env.pickGenerator(s, params)
+		if err != nil {
+			return err
+		}
+	}
+	im, reused, err := env.DB.Generate(g.Name, params)
+	if err != nil {
+		return errf(s.Name.Col, "%v", err)
+	}
+	verb := "registered"
+	if reused {
+		verb = "reused"
+	}
+	fmt.Fprintf(env.Out, "%s %s: %s %s width %d..%d area %g delay %g (generator %s)\n",
+		verb, im.Name, im.Component, im.Style, im.WidthMin, im.WidthMax, im.Area, im.Delay, g.Name)
+	return nil
+}
+
+// pickGenerator resolves a generate command's name as a component type
+// and selects that type's cheapest generator at the binding point, among
+// those whose parameter names match the given bindings.
+func (env *Env) pickGenerator(s *GenerateStmt, params map[string]int) (icdb.Generator, error) {
+	ct, ok := genus.NormalizeComponentType(s.Name.Text)
+	if !ok {
+		return icdb.Generator{}, &Error{Col: s.Name.Col,
+			Msg:  "unknown generator or component type '" + s.Name.Text + "'",
+			Hint: suggest(s.Name.Text, append(generatorNames(env.DB), componentTypeNames()...))}
+	}
+	gens, err := env.DB.GeneratorsByComponent(ct)
+	if err != nil {
+		return icdb.Generator{}, err
+	}
+	var best *icdb.Generator
+	var bestCost float64
+	for i := range gens {
+		g := &gens[i]
+		if !sameBindingNames(g.Params, params) {
+			continue
+		}
+		// Filter by width coverage before ranking, exactly like the
+		// expander's generator fallback: a cheap generator that cannot
+		// stretch to the bound size must not shadow one that can.
+		if sz, ok := params["size"]; ok && (sz < g.WidthMin || sz > g.WidthMax) {
+			continue
+		}
+		_, _, cost, err := env.DB.GeneratorCost(*g, params)
+		if err != nil {
+			continue
+		}
+		if best == nil || cost < bestCost {
+			best, bestCost = g, cost
+		}
+	}
+	if best == nil {
+		return icdb.Generator{}, errf(s.Name.Col, "no generator of type %s matches the given parameters", ct)
+	}
+	return *best, nil
+}
+
+// sameBindingNames reports whether the binding map covers exactly the
+// declared parameter names.
+func sameBindingNames(declared []string, params map[string]int) bool {
+	if len(declared) != len(params) {
+		return false
+	}
+	for _, p := range declared {
+		if _, ok := params[p]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// execEstimate evaluates one implementation's estimators at a width
+// point and prints the requested attribute (or all three).
+func (env *Env) execEstimate(s *EstimateStmt) error {
+	if _, err := env.DB.ImplByName(s.Name.Text); err != nil {
+		return &Error{Col: s.Name.Col,
+			Msg:  "unknown implementation '" + s.Name.Text + "'",
+			Hint: suggest(s.Name.Text, implNames(env.DB))}
+	}
+	area, delay, cost, err := env.DB.EstimateImpl(s.Name.Text, s.Width)
+	if err != nil {
+		return errf(s.WidthCol, "%v", err)
+	}
+	if s.Attr != nil {
+		v := cost
+		switch s.Attr.Text {
+		case "area":
+			v = area
+		case "delay":
+			v = delay
+		}
+		fmt.Fprintf(env.Out, "%s(%d) = %g\n", s.Attr.Text, s.Width, v)
+		return nil
+	}
+	fmt.Fprintf(env.Out, "%s at width %d: area %g delay %g cost %g\n",
+		s.Name.Text, s.Width, area, delay, cost)
 	return nil
 }
 

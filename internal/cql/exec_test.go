@@ -338,3 +338,224 @@ func TestExecLimitZero(t *testing.T) {
 		t.Errorf("limit 0 not ranked: %v", got)
 	}
 }
+
+// TestFindAtWidthRanksByEstimatedArea is the PR 5 acceptance criterion:
+// "find component ... at width 16 order by area" ranks by the estimator
+// value at width 16 and reports it.
+func TestFindAtWidthRanksByEstimatedArea(t *testing.T) {
+	db := openTestDB(t)
+	got := run(t, db, "find component executing STORAGE at width 16 order by area")
+	if len(got) != 2 || got[0].Impl.Name != "reg_d" || got[1].Impl.Name != "cnt_up" {
+		t.Fatalf("at-width ranking = %v", names(got))
+	}
+	// Builtin estimators: area = area * width -> 6*16 and 12*16.
+	if got[0].Area != 96 || got[1].Area != 192 {
+		t.Errorf("estimated areas = %g, %g, want 96, 192", got[0].Area, got[1].Area)
+	}
+	want, err := db.QueryByFunctionsOrdered(
+		[]genus.Function{genus.FuncSTORAGE}, icdb.Order{Attr: "area"}, 0, icdb.AtWidth(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameCandidates(t, "at-width", got, want)
+}
+
+// TestConstantEstimatorsByteIdenticalToScalar: a catalog of constant
+// estimators must render byte-identical CQL output to the scalar engine
+// — ordering, TopK, and streamed finds alike.
+func TestConstantEstimatorsByteIdenticalToScalar(t *testing.T) {
+	scalar := openTestDB(t)
+	est := openTestDB(t)
+	impls, err := est.Impls()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, im := range impls {
+		// Replace the builtin width-scaling estimators with the constant
+		// degenerate case.
+		if err := est.RegisterEstimator(im.Name, "area", "area"); err != nil {
+			t.Fatal(err)
+		}
+		if err := est.RegisterEstimator(im.Name, "delay", "delay"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scalarEnv := &Env{DB: scalar}
+	estEnv := &Env{DB: est}
+	cases := []struct{ scalar, est string }{
+		{"find component executing STORAGE with width = 8 order by area limit 5",
+			"find component executing STORAGE at width 8 order by area limit 5"},
+		{"find component with width = 8 order by cost",
+			"find component at width 8 order by cost"},
+		{"find impls of type Counter with width = 8 order by delay desc limit 1",
+			"find impls of type Counter at width 8 order by delay desc limit 1"},
+		{"find component executing ADD with width = 8 limit 3",
+			"find component executing ADD at width 8 limit 3"},
+	}
+	for _, c := range cases {
+		want := execOut(t, scalarEnv, c.scalar)
+		got := execOut(t, estEnv, c.est)
+		if got != want {
+			t.Errorf("constant-estimator output diverged\n  scalar %q -> %q\n  est    %q -> %q",
+				c.scalar, want, c.est, got)
+		}
+	}
+	// Streamed (unordered) finds: same candidate lines, order unspecified.
+	want := strings.Split(strings.TrimSpace(execOut(t, scalarEnv, "find component executing ADD with width = 8")), "\n")
+	got := strings.Split(strings.TrimSpace(execOut(t, estEnv, "find component executing ADD at width 8")), "\n")
+	normalize := func(lines []string) []string {
+		out := make([]string, len(lines))
+		for i, l := range lines {
+			// Drop the rank number: streamed order is unspecified.
+			_, rest, _ := strings.Cut(l, ". ")
+			out[i] = rest
+		}
+		sort.Strings(out)
+		return out
+	}
+	if !equalStrings(normalize(got), normalize(want)) {
+		t.Errorf("streamed candidate sets diverged: got %v, want %v", got, want)
+	}
+}
+
+// TestExecGenerate drives the generate verb: by generator name, by
+// component type, reuse reporting, and the error shapes.
+func TestExecGenerate(t *testing.T) {
+	env := &Env{DB: openTestDB(t)}
+	out := execOut(t, env, "generate gen_cnt size=16")
+	if !strings.Contains(out, "registered gen_cnt_size_16") || !strings.Contains(out, "area 192") {
+		t.Errorf("generate output = %q", out)
+	}
+	// The emitted implementation is immediately queryable, with its
+	// estimated-at-width area reported.
+	found := run(t, env.DB, "find component executing COUNTER at width 16 order by area")
+	seen := false
+	for _, c := range found {
+		if c.Impl.Name == "gen_cnt_size_16" {
+			seen = true
+			if c.Area != 192 {
+				t.Errorf("generated impl Area = %g, want 192", c.Area)
+			}
+		}
+	}
+	if !seen {
+		t.Errorf("generated impl not queryable: %v", names(found))
+	}
+	out = execOut(t, env, "generate gen_cnt size=16")
+	if !strings.Contains(out, "reused gen_cnt_size_16") {
+		t.Errorf("re-generate output = %q", out)
+	}
+	// Component-type resolution picks a matching generator of the type.
+	out = execOut(t, env, "generate Counter size=4")
+	if !strings.Contains(out, "registered gen_cnt_size_4") || !strings.Contains(out, "(generator gen_cnt)") {
+		t.Errorf("generate-by-type output = %q", out)
+	}
+	env.Out = &strings.Builder{}
+	err := env.Exec("generate gen_cnr size=4")
+	want := `cql: unknown generator or component type 'gen_cnr' at col 10 (did you mean "gen_cnt"?)`
+	if err == nil || err.Error() != want {
+		t.Errorf("unknown generator = %v, want %q", err, want)
+	}
+	if err := env.Exec("generate gen_cnt size=4 extra=1"); err == nil ||
+		!strings.Contains(err.Error(), "binding") {
+		t.Errorf("over-bound generate = %v", err)
+	}
+	if err := env.Exec("generate gen_cnt size=500"); err == nil ||
+		!strings.Contains(err.Error(), "width range") {
+		t.Errorf("out-of-range generate = %v", err)
+	}
+}
+
+// TestExecEstimate drives the estimate verb: the full line, the
+// single-attribute form, and the error shapes.
+func TestExecEstimate(t *testing.T) {
+	env := &Env{DB: openTestDB(t)}
+	out := execOut(t, env, "estimate add_ripple width=16")
+	if !strings.Contains(out, "add_ripple at width 16: area 144 delay 96 cost 240") {
+		t.Errorf("estimate output = %q", out)
+	}
+	out = execOut(t, env, "estimate add_ripple width=16 area")
+	if strings.TrimSpace(out) != "area(16) = 144" {
+		t.Errorf("estimate area output = %q", out)
+	}
+	out = execOut(t, env, "estimate add_ripple width=16 cost")
+	if strings.TrimSpace(out) != "cost(16) = 240" {
+		t.Errorf("estimate cost output = %q", out)
+	}
+	env.Out = &strings.Builder{}
+	err := env.Exec("estimate add_rippl width=16")
+	want := `cql: unknown implementation 'add_rippl' at col 10 (did you mean "add_ripple"?)`
+	if err == nil || err.Error() != want {
+		t.Errorf("unknown impl = %v, want %q", err, want)
+	}
+	err = env.Exec("estimate add_ripple width=65")
+	if err == nil || !strings.Contains(err.Error(), "width range") || !strings.Contains(err.Error(), "col 27") {
+		t.Errorf("out-of-range estimate = %v", err)
+	}
+}
+
+// TestExecShowGenerators checks the generators listing.
+func TestExecShowGenerators(t *testing.T) {
+	env := &Env{DB: openTestDB(t)}
+	out := execOut(t, env, "show generators")
+	for _, want := range []string{"gen_cnt", "gen_sub", "12 * width", "SUB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("show generators missing %q:\n%s", want, out)
+		}
+	}
+	if out != execOut(t, env, "show generators") {
+		t.Error("show generators is not deterministic")
+	}
+}
+
+// TestExecDescribeShowsEstimators: describe prints the estimator rows.
+func TestExecDescribeShowsEstimators(t *testing.T) {
+	env := &Env{DB: openTestDB(t)}
+	out := execOut(t, env, "describe cnt_ripple")
+	for _, want := range []string{"estimator: area = area * width", "estimator: delay = delay * width"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("describe missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestGenerateByTypeFiltersWidthRange: component-type generator
+// selection must skip generators that cannot cover the bound size, even
+// when they are cheaper than one that can.
+func TestGenerateByTypeFiltersWidthRange(t *testing.T) {
+	env := &Env{DB: openTestDB(t)}
+	// A cheap Counter generator that stops at 8 bits; the builtin
+	// gen_cnt (1..128) must win for size=16 despite costing more.
+	src := `
+NAME: gen_tiny;
+PARAMETER: size;
+VARIABLE: i;
+INORDER: D[size], load, en, clk;
+OUTORDER: Q[size];
+{
+  #for(i = 0; i < size; i++)
+    Q[i] = (D[i] (+) en) @ (~r clk);
+}
+`
+	if err := env.DB.RegisterGenerator(icdb.Generator{
+		Name:      "gen_tiny",
+		Component: genus.CompCounter,
+		Style:     "test",
+		Functions: []genus.Function{genus.FuncCOUNTER},
+		WidthMin:  1, WidthMax: 8, Stages: 1,
+		Params:    []string{"size"},
+		AreaExpr:  "1",
+		DelayExpr: "1",
+		Source:    src,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out := execOut(t, env, "generate Counter size=16")
+	if !strings.Contains(out, "(generator gen_cnt)") {
+		t.Errorf("size=16 selection = %q, want gen_cnt (gen_tiny cannot cover 16)", out)
+	}
+	out = execOut(t, env, "generate Counter size=4")
+	if !strings.Contains(out, "(generator gen_tiny)") {
+		t.Errorf("size=4 selection = %q, want the cheaper gen_tiny", out)
+	}
+}

@@ -25,6 +25,13 @@ var fuzzSeeds = []string{
 	"expand counter.iif size=8",
 	`expand "my designs/top.iif" size=4 n=-2`,
 	"expand -",
+	"show generators",
+	"generate gen_cnt size=16",
+	"generate Counter size=8 stages=2",
+	"estimate add_ripple width=16",
+	"estimate add_ripple width=16 area",
+	"find component executing ADD at width 16 order by area",
+	"find component of type Counter at width 8 limit 2",
 	"help",
 	// Near-misses and error shapes.
 	"find component exectuing STORAGE",
@@ -40,6 +47,14 @@ var fuzzSeeds = []string{
 	"42 = 42",
 	"find component with width != 3",
 	"FIND COMPONENT EXECUTING storage LIMIT 2",
+	"find component at width 0",
+	"find component at width",
+	"find component at 16",
+	"generate",
+	"generate gen size 4",
+	"estimate reg_d width=",
+	"estimate reg_d width=8 aera",
+	"ESTIMATE reg_d WIDTH=8 COST",
 }
 
 // FuzzParse asserts parser robustness: no panic on any input, every

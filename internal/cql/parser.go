@@ -13,12 +13,15 @@ import (
 // attribute added there is immediately queryable here; "width" is this
 // layer's sugar over the width range (see compileCond).
 var (
-	commandWords  = []string{"find", "show", "describe", "expand", "help"}
+	commandWords  = []string{"find", "show", "describe", "expand", "generate", "estimate", "help"}
 	targetWords   = []string{"component", "components", "impls"}
-	clauseWords   = []string{"of", "executing", "with", "order", "limit"}
+	clauseWords   = []string{"of", "executing", "with", "at", "order", "limit"}
 	attrWords     = append(icdb.ConstraintAttrs(), "width")
 	orderKeyWords = icdb.OrderKeys()
-	showWords     = []string{"impls", "components", "functions"}
+	showWords     = []string{"impls", "components", "functions", "generators"}
+	// estimateWords are the attributes an estimate command may single
+	// out: the two estimator attributes plus the weighted cost score.
+	estimateWords = append(icdb.EstimatorAttrs(), "cost")
 )
 
 // Parse parses one CQL command line into its typed AST. Errors are
@@ -114,7 +117,7 @@ func keywordIn(t Token, vocab []string) (string, bool) {
 	return "", false
 }
 
-// command parses the top-level production: one of the five command
+// command parses the top-level production: one of the seven command
 // forms.
 func (p *parser) command() (Stmt, error) {
 	t := p.cur()
@@ -125,7 +128,7 @@ func (p *parser) command() (Stmt, error) {
 				Msg:  "unknown command '" + t.Text + "'",
 				Hint: suggest(t.Text, commandWords)}
 		}
-		return nil, errf(t.Col, "expected a command (find, show, describe, expand, or help), got %s", describe(t))
+		return nil, errf(t.Col, "expected a command (find, show, describe, expand, generate, estimate, or help), got %s", describe(t))
 	}
 	p.advance()
 	switch cmd {
@@ -137,13 +140,17 @@ func (p *parser) command() (Stmt, error) {
 		return p.describeCmd()
 	case "expand":
 		return p.expand()
+	case "generate":
+		return p.generate()
+	case "estimate":
+		return p.estimate()
 	}
 	return &HelpStmt{}, nil
 }
 
 // find parses
 //
-//	"find" Target [OfType] [Executing] [With] [OrderBy] [Limit]
+//	"find" Target [OfType] [Executing] [With] [AtWidth] [OrderBy] [Limit]
 //
 // with the clauses in that fixed order.
 func (p *parser) find() (Stmt, error) {
@@ -200,6 +207,19 @@ func (p *parser) find() (Stmt, error) {
 		}
 	}
 
+	if p.atKw("at") {
+		p.advance()
+		if !p.kw("width") {
+			return nil, errf(p.cur().Col, "expected 'width' after 'at' (as in \"at width 16\"), got %s", describe(p.cur()))
+		}
+		n := p.cur()
+		if n.Kind != NUMBER || !n.IsInt || n.Val < 1 {
+			return nil, errf(n.Col, "expected positive whole number of bits after 'at width', got %s", describe(n))
+		}
+		p.advance()
+		f.At = &AtClause{Width: int(n.Val), Col: n.Col}
+	}
+
 	if p.atKw("order") {
 		p.advance()
 		if !p.kw("by") {
@@ -248,7 +268,7 @@ func (p *parser) find() (Stmt, error) {
 	// duplicated) or an unknown keyword worth a suggestion.
 	if t := p.cur(); t.Kind == WORD {
 		if kw, ok := keywordIn(t, clauseWords); ok {
-			return nil, errf(t.Col, "clause '%s' is out of order or duplicated (clause order: of type, executing, with, order by, limit)", kw)
+			return nil, errf(t.Col, "clause '%s' is out of order or duplicated (clause order: of type, executing, with, at width, order by, limit)", kw)
 		}
 		return nil, &Error{Col: t.Col,
 			Msg:  "unknown keyword '" + t.Text + "'",
@@ -304,7 +324,8 @@ func (p *parser) cond(after string) (*Cond, error) {
 	}, nil
 }
 
-// show parses "show" ("impls" | "components" | "functions").
+// show parses "show" ("impls" | "components" | "functions" |
+// "generators").
 func (p *parser) show() (Stmt, error) {
 	t := p.cur()
 	what, ok := keywordIn(t, showWords)
@@ -314,7 +335,7 @@ func (p *parser) show() (Stmt, error) {
 				Msg:  "unknown listing '" + t.Text + "'",
 				Hint: suggest(t.Text, showWords)}
 		}
-		return nil, errf(t.Col, "expected 'impls', 'components', or 'functions' after 'show', got %s", describe(t))
+		return nil, errf(t.Col, "expected 'impls', 'components', 'functions', or 'generators' after 'show', got %s", describe(t))
 	}
 	p.advance()
 	return &ShowStmt{What: Word{Text: what, Col: t.Col}}, nil
@@ -338,6 +359,74 @@ func (p *parser) expand() (Stmt, error) {
 	}
 	p.advance()
 	e := &ExpandStmt{Path: Word{Text: t.Text, Col: t.Col}}
+	params, err := p.paramList()
+	if err != nil {
+		return nil, err
+	}
+	e.Params = params
+	return e, nil
+}
+
+// generate parses "generate" Name { Name "=" Int }: a generator (or
+// component type) followed by its parameter-point bindings.
+func (p *parser) generate() (Stmt, error) {
+	t := p.cur()
+	if t.Kind != WORD && t.Kind != STRING {
+		return nil, errf(t.Col, "expected generator or component type after 'generate', got %s", describe(t))
+	}
+	p.advance()
+	g := &GenerateStmt{Name: Word{Text: t.Text, Col: t.Col}}
+	params, err := p.paramList()
+	if err != nil {
+		return nil, err
+	}
+	g.Params = params
+	return g, nil
+}
+
+// estimate parses "estimate" Name "width" "=" Int [Attr].
+func (p *parser) estimate() (Stmt, error) {
+	t := p.cur()
+	if t.Kind != WORD && t.Kind != STRING {
+		return nil, errf(t.Col, "expected implementation name after 'estimate', got %s", describe(t))
+	}
+	p.advance()
+	e := &EstimateStmt{Name: Word{Text: t.Text, Col: t.Col}}
+	if !p.kw("width") {
+		return nil, errf(p.cur().Col, "expected 'width=<bits>' after the implementation name, got %s", describe(p.cur()))
+	}
+	if p.cur().Kind != EQ {
+		return nil, errf(p.cur().Col, "expected '=' after 'width', got %s", describe(p.cur()))
+	}
+	p.advance()
+	v := p.cur()
+	if v.Kind != NUMBER || !v.IsInt || v.Val < 1 {
+		return nil, errf(v.Col, "expected positive whole number of bits after 'width=', got %s", describe(v))
+	}
+	p.advance()
+	e.Width = int(v.Val)
+	e.WidthCol = v.Col
+	if a := p.cur(); a.Kind == WORD {
+		attr, ok := keywordIn(a, estimateWords)
+		if !ok {
+			e := &Error{Col: a.Col,
+				Msg:  "unknown estimate attribute '" + a.Text + "'",
+				Hint: suggest(a.Text, estimateWords)}
+			if e.Hint == "" {
+				e.Msg += " (valid: " + strings.Join(estimateWords, ", ") + ")"
+			}
+			return nil, e
+		}
+		p.advance()
+		e.Attr = &Word{Text: attr, Col: a.Col}
+	}
+	return e, nil
+}
+
+// paramList parses the { Name "=" Int } binding tail shared by the
+// expand and generate commands.
+func (p *parser) paramList() ([]ExpandParam, error) {
+	var params []ExpandParam
 	for p.cur().Kind != EOF {
 		n := p.cur()
 		if n.Kind != WORD {
@@ -353,9 +442,9 @@ func (p *parser) expand() (Stmt, error) {
 			return nil, errf(v.Col, "expected integer value for parameter '%s', got %s", n.Text, describe(v))
 		}
 		p.advance()
-		e.Params = append(e.Params, ExpandParam{Name: Word{Text: n.Text, Col: n.Col}, Value: int(v.Val)})
+		params = append(params, ExpandParam{Name: Word{Text: n.Text, Col: n.Col}, Value: int(v.Val)})
 	}
-	return e, nil
+	return params, nil
 }
 
 // suggestWord suggests a replacement for a WORD token, or "" for other

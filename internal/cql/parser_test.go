@@ -236,8 +236,8 @@ func TestParseErrors(t *testing.T) {
 		src  string
 		want string
 	}{
-		{"", "cql: expected a command (find, show, describe, expand, or help), got end of command at col 1"},
-		{"42", "cql: expected a command (find, show, describe, expand, or help), got number 42 at col 1"},
+		{"", "cql: expected a command (find, show, describe, expand, generate, estimate, or help), got end of command at col 1"},
+		{"42", "cql: expected a command (find, show, describe, expand, generate, estimate, or help), got number 42 at col 1"},
 		{"fnd component", `cql: unknown command 'fnd' at col 1 (did you mean "find"?)`},
 		{"descrbe reg_d", `cql: unknown command 'descrbe' at col 1 (did you mean "describe"?)`},
 		{"find", "cql: expected 'component' (or 'components', 'impls') after 'find', got end of command at col 5"},
@@ -261,16 +261,30 @@ func TestParseErrors(t *testing.T) {
 		{"find component limit x", "cql: expected non-negative integer after 'limit', got 'x' at col 22"},
 		{"find component limit 2.5", "cql: expected non-negative integer after 'limit', got number 2.5 at col 22"},
 		{"find component limit -1", "cql: expected non-negative integer after 'limit', got number -1 at col 22"},
-		{"find component executing STORAGE of type Counter", "cql: clause 'of' is out of order or duplicated (clause order: of type, executing, with, order by, limit)" /* col below */},
-		{"find component limit 1 limit 2", "cql: clause 'limit' is out of order or duplicated (clause order: of type, executing, with, order by, limit)"},
+		{"find component executing STORAGE of type Counter", "cql: clause 'of' is out of order or duplicated (clause order: of type, executing, with, at width, order by, limit)" /* col below */},
+		{"find component limit 1 limit 2", "cql: clause 'limit' is out of order or duplicated (clause order: of type, executing, with, at width, order by, limit)"},
+		{"find component at 16", "cql: expected 'width' after 'at' (as in \"at width 16\"), got number 16 at col 19"},
+		{"find component at width", "cql: expected positive whole number of bits after 'at width', got end of command at col 24"},
+		{"find component at width 0", "cql: expected positive whole number of bits after 'at width', got number 0 at col 25"},
+		{"find component at width 2.5", "cql: expected positive whole number of bits after 'at width', got number 2.5 at col 25"},
+		{"find component order by area at width 8", "cql: clause 'at' is out of order or duplicated (clause order: of type, executing, with, at width, order by, limit) at col 30"},
 		{"show impl", `cql: unknown listing 'impl' at col 6 (did you mean "impls"?)`},
-		{"show", "cql: expected 'impls', 'components', or 'functions' after 'show', got end of command at col 5"},
+		{"show", "cql: expected 'impls', 'components', 'functions', or 'generators' after 'show', got end of command at col 5"},
+		{"show generatos", `cql: unknown listing 'generatos' at col 6 (did you mean "generators"?)`},
 		{"describe", "cql: expected implementation name after 'describe', got end of command at col 9"},
 		{"expand", "cql: expected design file (or '-' for stdin) after 'expand', got end of command at col 7"},
 		{"expand f.iif size 4", "cql: expected '=' after parameter name 'size', got number 4 at col 19"},
 		{"expand f.iif size=big", "cql: expected integer value for parameter 'size', got 'big' at col 19"},
 		{"expand f.iif size=2.5", "cql: expected integer value for parameter 'size', got number 2.5 at col 19"},
 		{"expand f.iif =4", "cql: expected parameter name, got '=' at col 14"},
+		{"generate", "cql: expected generator or component type after 'generate', got end of command at col 9"},
+		{"generate gen size 4", "cql: expected '=' after parameter name 'size', got number 4 at col 19"},
+		{"generate gen size=big", "cql: expected integer value for parameter 'size', got 'big' at col 19"},
+		{"estimate", "cql: expected implementation name after 'estimate', got end of command at col 9"},
+		{"estimate reg_d", "cql: expected 'width=<bits>' after the implementation name, got end of command at col 15"},
+		{"estimate reg_d width", "cql: expected '=' after 'width', got end of command at col 21"},
+		{"estimate reg_d width=0", "cql: expected positive whole number of bits after 'width=', got number 0 at col 22"},
+		{"estimate reg_d width=8 aera", `cql: unknown estimate attribute 'aera' at col 24 (did you mean "area"?)`},
 		{"help me", "cql: unexpected 'me' after complete command at col 6"},
 	}
 	for _, c := range cases {

@@ -41,21 +41,36 @@ type Expander struct {
 	designs  map[string]*iif.Design // parsed implementation sources, by name
 	nets     map[string]*eqn.Network
 	netDeps  map[string][]instReq     // template key -> transitive subcomponent requests
-	resolved map[resolveKey]icdb.Impl // #call resolution memo
+	resolved map[resolveKey]icdb.Impl // #call resolution memo (stored impls only)
+	protos   map[string]*proto        // #call arity-prototype memo, by call name
 }
 
-// resolveKey memoizes #call resolution per (name, requested width): two
-// calls sharing a name but requesting different sizes may legitimately
-// resolve to different implementations, so the bare name is not enough.
-// Width anyWidth records the width-agnostic resolution used before a
-// call's size binding is known.
+// resolveKey memoizes #call resolution per (name, full binding set,
+// port count): two calls sharing a name but binding different parameter
+// points — or connecting different port shapes — may legitimately
+// resolve to different implementations, because both the width filter
+// and the port-shape filter evaluate against the bindings (a non-size
+// parameter can appear in a candidate's port dimensions). Generator-
+// emitted implementations are never memoized here: Generate itself
+// dedups per point.
 type resolveKey struct {
-	name  string
-	width int
+	name     string
+	bindings string // icdb.BindingsKey of the evaluated parameter point
+	ports    int
 }
 
-// anyWidth marks a resolution not constrained by a requested width.
-const anyWidth = -1
+// proto is the arity prototype of a #call: the implementation or
+// generator that fixes the call's parameter list before the parameter
+// arguments are evaluated. Exactly one of im and gen is non-nil; exact
+// records whether the call named it directly (exact resolutions are
+// authoritative — a width the named entry cannot cover is an error, not
+// a substitution).
+type proto struct {
+	im     *icdb.Impl
+	gen    *icdb.Generator
+	exact  bool
+	params []string
+}
 
 // instReq is one recorded instantiation request: which implementation a
 // template splices, with which bindings. Replayed on template cache
@@ -74,6 +89,7 @@ func New(db *icdb.DB) *Expander {
 		nets:     make(map[string]*eqn.Network),
 		netDeps:  make(map[string][]instReq),
 		resolved: make(map[resolveKey]icdb.Impl),
+		protos:   make(map[string]*proto),
 	}
 }
 
@@ -508,54 +524,33 @@ func (x *expansion) assign(a *iif.Assign) error {
 // ---- subcomponent calls ----
 
 func (x *expansion) call(c *iif.Call) error {
-	im, err := x.resolve(c, anyWidth)
+	pr, err := x.resolveProto(c)
 	if err != nil {
 		return err
 	}
-	d, err := x.ex.design(im)
-	if err != nil {
-		return err
-	}
-	np := len(d.Params)
+	np := len(pr.params)
 	if len(c.Args) < np {
-		return iif.Errf(c.Pos, "#%s: needs %d leading parameter argument(s) %v", c.Name, np, d.Params)
+		return iif.Errf(c.Pos, "#%s: needs %d leading parameter argument(s) %v", c.Name, np, pr.params)
 	}
 	// Evaluate the parameter arguments once, positionally: argument
-	// expressions may have side effects (i++), so a width-aware
-	// re-resolution below rebinds these values instead of re-evaluating.
+	// expressions may have side effects (i++), so the width-aware
+	// resolution below rebinds these values instead of re-evaluating.
 	vals := make([]int, np)
-	for i, p := range d.Params {
+	for i, p := range pr.params {
 		v, err := x.evalInt(c.Args[i])
 		if err != nil {
 			return iif.Errf(c.Pos, "#%s: parameter %q: %v", c.Name, p, err)
 		}
 		vals[i] = v
 	}
-	bindings := bindParams(d.Params, vals)
-	if sz, ok := bindings["size"]; ok && (sz < im.WidthMin || sz > im.WidthMax) {
-		// The width-agnostic resolution cannot expand to this size; ask
-		// the database again, filtered to implementations covering it
-		// (the ROADMAP's width-aware call resolution, for the
-		// range-recovery case).
-		// Rebinding vals is positional, so the alternate must declare the
-		// same parameters in the same order — a count match alone could
-		// silently bind values to the wrong names.
-		recovered := false
-		if alt, altErr := x.resolve(c, sz); altErr == nil {
-			if ad, derr := x.ex.design(alt); derr == nil && slices.Equal(ad.Params, d.Params) {
-				im, d = alt, ad
-				recovered = true
-			}
-		}
-		if !recovered {
-			return iif.Errf(c.Pos, "#%s: size %d outside implementation %q width range [%d,%d]",
-				c.Name, sz, im.Name, im.WidthMin, im.WidthMax)
-		}
-		bindings = bindParams(d.Params, vals)
-		if sz, ok := bindings["size"]; ok && (sz < im.WidthMin || sz > im.WidthMax) {
-			return iif.Errf(c.Pos, "#%s: size %d outside implementation %q width range [%d,%d]",
-				c.Name, sz, im.Name, im.WidthMin, im.WidthMax)
-		}
+	bindings := bindParams(pr.params, vals)
+	im, err := x.resolveFinal(c, pr, bindings)
+	if err != nil {
+		return err
+	}
+	d, err := x.ex.design(im)
+	if err != nil {
+		return err
 	}
 	tmpl, _, err := x.ex.template(d, im, bindings, x.design, x.depth+1)
 	if err != nil {
@@ -642,67 +637,271 @@ func bindParams(params []string, vals []int) map[string]int {
 	return bindings
 }
 
-// resolve maps a #CALL name to a database implementation, memoized per
-// (name, width). Resolution tries, in order: an implementation of that
-// exact (or lower-cased) name, the best-ranked implementation of a
-// matching component type, and the best-ranked implementation answering
-// a query by function — the paper's query-by-function path from inside
-// the expander. A width other than anyWidth constrains the component-
-// and function-query paths to implementations whose width range covers
-// it (exact-name resolution stays authoritative: naming an
-// implementation that cannot stretch to the requested size is an error,
-// not a substitution).
-func (x *expansion) resolve(c *iif.Call, width int) (icdb.Impl, error) {
-	key := resolveKey{name: c.Name, width: width}
+// resolveProto maps a #CALL name to its arity prototype — the database
+// entry that fixes the call's parameter list — memoized per name.
+// Resolution tries, in order: an implementation of that exact (or
+// lower-cased) name, a generator of that exact (or lower-cased) name,
+// the best-ranked implementation of a matching component type or
+// answering a query by function (the paper's query-by-function path from
+// inside the expander), and finally a generator of the matching type or
+// function. The prototype only fixes the parameter list; the
+// implementation actually spliced is chosen width-aware by resolveFinal
+// once the size binding is known.
+func (x *expansion) resolveProto(c *iif.Call) (*proto, error) {
+	if pr, ok := x.ex.protos[c.Name]; ok {
+		return pr, nil
+	}
+	pr, err := x.resolveProtoUncached(c)
+	if err != nil {
+		return nil, err
+	}
+	x.ex.protos[c.Name] = pr
+	return pr, nil
+}
+
+func (x *expansion) resolveProtoUncached(c *iif.Call) (*proto, error) {
+	db := x.ex.db
+	for _, name := range []string{c.Name, strings.ToLower(c.Name)} {
+		if im, err := db.ImplByName(name); err == nil {
+			return &proto{im: &im, exact: true, params: im.Params}, nil
+		}
+	}
+	for _, name := range []string{c.Name, strings.ToLower(c.Name)} {
+		if g, err := db.GeneratorByName(name); err == nil {
+			return &proto{gen: &g, exact: true, params: g.Params}, nil
+		}
+	}
+	im, ok, err := cheapestWhere(func(visit func(icdb.Candidate) bool) error {
+		return x.scanByTypeOrFunction(c, visit)
+	}, nil)
+	if err != nil {
+		return nil, iif.Errf(c.Pos, "#%s: %v", c.Name, err)
+	}
+	if ok {
+		return &proto{im: &im, params: im.Params}, nil
+	}
+	if gens := x.generatorsFor(c); len(gens) > 0 {
+		g := gens[0] // generatorsFor sorts by name; any fixes the arity
+		return &proto{gen: &g, params: g.Params}, nil
+	}
+	return nil, iif.Errf(c.Pos, "#%s: resolves to no implementation, generator, component type, or function in the database", c.Name)
+}
+
+// scanByTypeOrFunction streams the stored implementations the call name
+// selects: the implementations of a matching GENUS component type, or
+// those answering a query by function. Only one of the two paths can
+// match (the vocabularies are disjoint).
+func (x *expansion) scanByTypeOrFunction(c *iif.Call, visit func(icdb.Candidate) bool, cs ...icdb.Constraint) error {
+	db := x.ex.db
+	if ct, ok := genus.NormalizeComponentType(c.Name); ok {
+		return db.QueryByComponentScan(ct, visit, cs...)
+	}
+	if fn, err := genus.NormalizeFunction(c.Name); err == nil {
+		return db.QueryByFunctionScan(fn, visit, cs...)
+	}
+	return nil
+}
+
+// generatorsFor lists the registered generators the call name selects by
+// component type or function, sorted by name.
+func (x *expansion) generatorsFor(c *iif.Call) []icdb.Generator {
+	db := x.ex.db
+	if ct, ok := genus.NormalizeComponentType(c.Name); ok {
+		gens, err := db.GeneratorsByComponent(ct)
+		if err != nil {
+			return nil
+		}
+		return gens
+	}
+	if fn, err := genus.NormalizeFunction(c.Name); err == nil {
+		all, err := db.Generators()
+		if err != nil {
+			return nil
+		}
+		var out []icdb.Generator
+		for _, g := range all {
+			if g.Executes(fn) {
+				out = append(out, g)
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// resolveFinal picks the implementation a call actually splices, given
+// the evaluated parameter bindings. Exact-name prototypes are
+// authoritative: a named implementation that cannot stretch to the
+// requested size is an error, and a named generator is run at the
+// binding point. Query-resolved calls are width-aware in all cases: when
+// the bindings carry a size, candidates are filtered to implementations
+// covering it (and sharing the prototype's parameter list, so the
+// positionally evaluated values rebind safely) *before* ranking, and
+// ranked by their cost estimated at that width (see icdb.AtWidth). When
+// no stored implementation covers the size, resolution falls through to
+// the registered generators and synthesizes one.
+func (x *expansion) resolveFinal(c *iif.Call, pr *proto, bindings map[string]int) (icdb.Impl, error) {
+	db := x.ex.db
+	sz, hasSz := bindings["size"]
+	if pr.exact {
+		if pr.im != nil {
+			if hasSz && (sz < pr.im.WidthMin || sz > pr.im.WidthMax) {
+				return icdb.Impl{}, iif.Errf(c.Pos, "#%s: size %d outside implementation %q width range [%d,%d]",
+					c.Name, sz, pr.im.Name, pr.im.WidthMin, pr.im.WidthMax)
+			}
+			return *pr.im, nil
+		}
+		im, _, err := db.Generate(pr.gen.Name, bindings)
+		if err != nil {
+			return icdb.Impl{}, iif.Errf(c.Pos, "#%s: %v", c.Name, err)
+		}
+		return im, nil
+	}
+	if !hasSz {
+		if pr.im != nil {
+			return *pr.im, nil
+		}
+		// A query-resolved generator prototype always declares "size"
+		// (RegisterGenerator enforces it), so its bindings carry one.
+		return icdb.Impl{}, iif.Errf(c.Pos, "#%s: generator %q needs a size binding", c.Name, pr.gen.Name)
+	}
+	key := resolveKey{name: c.Name, bindings: icdb.BindingsKey(bindings), ports: len(c.Args) - len(pr.params)}
 	if im, ok := x.ex.resolved[key]; ok {
 		return im, nil
 	}
-	im, err := x.resolveUncached(c, width)
+	// Stored implementations first: filtered to the requested width, the
+	// prototype's parameter list, and the call's port shape before
+	// ranking, ranked by estimated-at-width cost.
+	match := x.shapeMatch(c, pr, bindings)
+	im, ok, err := cheapestWhere(func(visit func(icdb.Candidate) bool) error {
+		return x.scanByTypeOrFunction(c, visit, icdb.AtWidth(sz))
+	}, match)
 	if err != nil {
+		return icdb.Impl{}, iif.Errf(c.Pos, "#%s: %v", c.Name, err)
+	}
+	if ok {
+		x.ex.resolved[key] = im
+		return im, nil
+	}
+	// Generator fallback: no stored implementation covers the width.
+	if im, ok, err := x.generateFor(c, sz, bindings, pr.params); err != nil {
 		return icdb.Impl{}, err
+	} else if ok {
+		return im, nil
 	}
-	x.ex.resolved[key] = im
-	return im, nil
+	if pr.im != nil {
+		return icdb.Impl{}, iif.Errf(c.Pos, "#%s: size %d outside implementation %q width range [%d,%d]",
+			c.Name, sz, pr.im.Name, pr.im.WidthMin, pr.im.WidthMax)
+	}
+	return icdb.Impl{}, iif.Errf(c.Pos, "#%s: no implementation or generator covers size %d with the call's %d port connection(s)",
+		c.Name, sz, len(c.Args)-len(pr.params))
 }
 
-func (x *expansion) resolveUncached(c *iif.Call, width int) (icdb.Impl, error) {
+// shapeMatch builds the pre-ranking candidate filter of a width-aware
+// resolution: the candidate must declare exactly the prototype's
+// parameter list (the positionally evaluated values rebind safely) and
+// its declared ports, flattened at the evaluated bindings, must account
+// for the call's remaining arguments — so a structurally incompatible
+// implementation is filtered out before ranking, not discovered after an
+// expensive template expansion.
+func (x *expansion) shapeMatch(c *iif.Call, pr *proto, bindings map[string]int) func(icdb.Candidate) bool {
+	want := len(c.Args) - len(pr.params)
+	return func(cand icdb.Candidate) bool {
+		if !slices.Equal(cand.Impl.Params, pr.params) {
+			return false
+		}
+		d, err := x.ex.design(cand.Impl)
+		if err != nil {
+			return false
+		}
+		n, err := portCount(d, bindings)
+		return err == nil && n == want
+	}
+}
+
+// portCount evaluates how many scalar input and output ports design d
+// exposes at the given parameter bindings, without expanding its body:
+// declaration dimensions are pure expressions over parameters, so the
+// flattened port count is their product-sum.
+func portCount(d *iif.Design, bindings map[string]int) (int, error) {
+	px := &expansion{params: bindings, vars: map[string]int{}}
+	n := 0
+	for _, decls := range [][]iif.SignalDecl{d.Inputs, d.Outputs} {
+		for _, sd := range decls {
+			scalars := 1
+			for _, de := range sd.Dims {
+				v, err := px.evalIntPure(de)
+				if err != nil {
+					return 0, err
+				}
+				if v < 1 {
+					return 0, iif.Errf(sd.Pos, "signal %s: dimension evaluates to %d", sd.Name, v)
+				}
+				scalars *= v
+			}
+			n += scalars
+		}
+	}
+	return n, nil
+}
+
+// generateFor runs the cheapest matching generator at the binding point:
+// candidates must match the call by type or function, cover the
+// requested width, declare exactly the prototype's parameter list
+// (positional rebinding safety), and present the call's port shape; they
+// are ranked by cost estimated at the binding point. Not memoized in
+// resolved — the emitted implementation depends on the full binding set,
+// and Generate dedups per point itself.
+func (x *expansion) generateFor(c *iif.Call, sz int, bindings map[string]int, params []string) (icdb.Impl, bool, error) {
 	db := x.ex.db
-	if im, err := db.ImplByName(c.Name); err == nil {
-		return im, nil
-	}
-	if im, err := db.ImplByName(strings.ToLower(c.Name)); err == nil {
-		return im, nil
-	}
-	var cs []icdb.Constraint
-	if width != anyWidth {
-		cs = append(cs, icdb.ForWidth(width))
-	}
-	if ct, ok := genus.NormalizeComponentType(c.Name); ok {
-		if im, ok := cheapest(func(visit func(icdb.Candidate) bool) error {
-			return db.QueryByComponentScan(ct, visit, cs...)
-		}); ok {
-			return im, nil
+	gens := x.generatorsFor(c)
+	want := len(c.Args) - len(params)
+	var best *icdb.Generator
+	var bestCost float64
+	for i := range gens {
+		g := &gens[i]
+		if sz < g.WidthMin || sz > g.WidthMax || !slices.Equal(g.Params, params) {
+			continue
+		}
+		if d, err := iif.Parse(g.Source); err != nil {
+			continue
+		} else if n, err := portCount(d, bindings); err != nil || n != want {
+			continue
+		}
+		_, _, cost, err := db.GeneratorCost(*g, bindings)
+		if err != nil {
+			return icdb.Impl{}, false, iif.Errf(c.Pos, "#%s: %v", c.Name, err)
+		}
+		if best == nil || cost < bestCost {
+			best, bestCost = g, cost
 		}
 	}
-	if fn, err := genus.NormalizeFunction(c.Name); err == nil {
-		if im, ok := cheapest(func(visit func(icdb.Candidate) bool) error {
-			return db.QueryByFunctionScan(fn, visit, cs...)
-		}); ok {
-			return im, nil
-		}
+	if best == nil {
+		return icdb.Impl{}, false, nil
 	}
-	return icdb.Impl{}, iif.Errf(c.Pos, "#%s: resolves to no implementation, component type, or function in the database", c.Name)
+	im, _, err := db.Generate(best.Name, bindings)
+	if err != nil {
+		return icdb.Impl{}, false, iif.Errf(c.Pos, "#%s: %v", c.Name, err)
+	}
+	return im, true, nil
 }
 
-// cheapest folds a streamed query down to its single best-ranked
+// cheapestWhere folds a streamed query down to its single best-ranked
 // candidate (lowest cost, name as tie-break — the same order the ranked
 // queries return) without materializing the result set: resolution only
 // ever needs the winner, so the candidates are consumed as they stream.
-func cheapest(scan func(visit func(icdb.Candidate) bool) error) (icdb.Impl, bool) {
+// A non-nil match additionally filters candidates before ranking. Scan
+// errors propagate — under a width evaluation point a broken estimator
+// expression fails the scan per row, and swallowing that would silently
+// demote the catalog's intended candidate to a generator fallback.
+func cheapestWhere(scan func(visit func(icdb.Candidate) bool) error, match func(icdb.Candidate) bool) (icdb.Impl, bool, error) {
 	var best icdb.Impl
 	var bestCost float64
 	found := false
 	err := scan(func(cand icdb.Candidate) bool {
+		if match != nil && !match(cand) {
+			return true
+		}
 		if !found || cand.Cost < bestCost ||
 			(cand.Cost == bestCost && cand.Impl.Name < best.Name) {
 			// Clone: the streamed Impl shares the query cache's slices
@@ -711,5 +910,8 @@ func cheapest(scan func(visit func(icdb.Candidate) bool) error) (icdb.Impl, bool
 		}
 		return true
 	})
-	return best, err == nil && found
+	if err != nil {
+		return icdb.Impl{}, false, err
+	}
+	return best, found, nil
 }

@@ -91,6 +91,94 @@ PIIFVARIABLE: c[size];
 }
 `
 
+// Builtin generator library: parameterized procedures the database can
+// run on demand (Generate) when no stored implementation covers a
+// requested point. gen_cnt emits synchronous up-counters; gen_sub emits
+// ripple-borrow subtractors — the one builtin source of SUB coverage,
+// which the static library does not provide at all.
+
+const srcGenCnt = `
+NAME: gen_cnt;
+PARAMETER: size;
+VARIABLE: i;
+INORDER: D[size], load, en, clk;
+OUTORDER: Q[size];
+PIIFVARIABLE: c[size], n[size];
+{
+  c[0] = en;
+  #for(i = 1; i < size; i++)
+    c[i] = c[i-1] * Q[i-1];
+  #for(i = 0; i < size; i++) {
+    n[i] = (Q[i] (+) c[i]) * !load + D[i] * load;
+    Q[i] = n[i] @ (~r clk);
+  }
+}
+`
+
+const srcGenSub = `
+NAME: gen_sub;
+PARAMETER: size;
+VARIABLE: i;
+INORDER: A[size], B[size], bin;
+OUTORDER: D[size], bout;
+PIIFVARIABLE: b[size];
+{
+  b[0] = bin;
+  #for(i = 1; i < size; i++)
+    b[i] = !A[i-1]*B[i-1] + !A[i-1]*b[i-1] + B[i-1]*b[i-1];
+  #for(i = 0; i < size; i++)
+    D[i] = A[i] (+) B[i] (+) b[i];
+  bout = !A[size-1]*B[size-1] + !A[size-1]*b[size-1] + B[size-1]*b[size-1];
+}
+`
+
+func builtinGenerators() []Generator {
+	return []Generator{
+		{
+			Name:      "gen_cnt",
+			Component: genus.CompCounter,
+			Style:     "synchronous",
+			Functions: []genus.Function{genus.FuncINC, genus.FuncCOUNTER, genus.FuncSTORAGE, genus.FuncLOAD, genus.FuncSTORE},
+			WidthMin:  1, WidthMax: 128, Stages: 1,
+			Params:    []string{"size"},
+			AreaExpr:  "12 * width",
+			DelayExpr: "2 + width / 16",
+			Source:    srcGenCnt,
+		},
+		{
+			Name:      "gen_sub",
+			Component: genus.CompAdderSubtractor,
+			Style:     "ripple",
+			Functions: []genus.Function{genus.FuncSUB},
+			WidthMin:  1, WidthMax: 128, Stages: 0,
+			Params:    []string{"size"},
+			AreaExpr:  "10 * width",
+			DelayExpr: "6 + width",
+			Source:    srcGenSub,
+		},
+	}
+}
+
+// builtinEstimators maps each builtin implementation to its estimator
+// expressions: area scales linearly with the evaluated width for every
+// builtin, delay is constant for single-stage synchronous structures and
+// linear for the ripple ones (carry/borrow chains). The expressions are
+// evaluated over the implementation's scalar attributes plus "width"
+// (see RegisterEstimator), so "area * width" means per-bit area times
+// the width point.
+func builtinEstimators() map[string]map[string]string {
+	linear := map[string]string{"area": "area * width", "delay": "delay * width"}
+	flat := map[string]string{"area": "area * width", "delay": "delay"}
+	return map[string]map[string]string{
+		"reg_d":      flat,
+		"cnt_up":     flat,
+		"cnt_ripple": linear,
+		"tri_buf":    flat,
+		"logic_and":  flat,
+		"add_ripple": linear,
+	}
+}
+
 func builtinImpls() []Impl {
 	return []Impl{
 		{

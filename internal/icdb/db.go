@@ -19,12 +19,18 @@ import (
 	"icdb/internal/relstore"
 )
 
-// Table names of the ICDB relational schema (§3 of the paper).
+// Table names of the ICDB relational schema (§3 of the paper). The
+// generators and estimators relations hold the paper's component
+// generators (procedures emitting implementations on demand, see
+// Generator/Generate) and parameterized cost estimators (see
+// RegisterEstimator/AtWidth).
 const (
 	TableComponents      = "components"
 	TableImplementations = "implementations"
 	TableInstances       = "instances"
 	TableToolParams      = "tool_params"
+	TableGenerators      = "generators"
+	TableEstimators      = "estimators"
 )
 
 // Schemas returns the relational schema of every ICDB table.
@@ -74,6 +80,38 @@ func Schemas() []relstore.Schema {
 				{Name: "value", Type: relstore.TFloat},
 			},
 			Key: []string{"tool", "param"},
+		},
+		{
+			Table: TableGenerators,
+			Columns: []relstore.Column{
+				{Name: "name", Type: relstore.TString},
+				{Name: "component", Type: relstore.TString},
+				{Name: "style", Type: relstore.TString},
+				{Name: "functions", Type: relstore.TString},
+				{Name: "width_min", Type: relstore.TInt},
+				{Name: "width_max", Type: relstore.TInt},
+				{Name: "stages", Type: relstore.TInt},
+				{Name: "params", Type: relstore.TString},
+				{Name: "area_expr", Type: relstore.TString},
+				{Name: "delay_expr", Type: relstore.TString},
+				{Name: "source", Type: relstore.TString},
+			},
+			Key: []string{"name"},
+			// Serves GeneratorsByComponent (the expander's generator
+			// fallback and CQL "generate <component>") from a posting list.
+			Indexes: []relstore.Index{{Columns: []string{"component"}}},
+		},
+		{
+			Table: TableEstimators,
+			Columns: []relstore.Column{
+				{Name: "impl", Type: relstore.TString},
+				{Name: "attr", Type: relstore.TString},
+				{Name: "expr", Type: relstore.TString},
+			},
+			Key: []string{"impl", "attr"},
+			// Serves Estimators(impl) — all of one implementation's
+			// estimator rows — from a posting list.
+			Indexes: []relstore.Index{{Columns: []string{"impl"}}},
 		},
 	}
 }
@@ -146,9 +184,17 @@ type DB struct {
 	impls map[string]*Impl                         // name -> decoded implementation
 	byFn  map[genus.Function]map[string]*Impl      // function -> posting map
 	byCt  map[genus.ComponentType]map[string]*Impl // component type -> posting map
+	ests  map[string]*estPair                      // impl name -> compiled estimators
 	// Cached ranking weights (tool "icdb"), refreshed after SetToolParam.
 	wa, wd float64
 	wOK    bool
+}
+
+// estPair holds one implementation's compiled estimator expressions; a
+// nil expression means no estimator is registered for that attribute and
+// the scalar estimate stands.
+type estPair struct {
+	area, delay iif.Expr
 }
 
 // Open bootstraps the ICDB schema on store, creating any missing tables,
@@ -187,6 +233,26 @@ func Open(store *relstore.Store) (*DB, error) {
 			return nil, fmt.Errorf("icdb: seed builtin %q: %w", im.Name, err)
 		}
 	}
+	for name, exprs := range builtinEstimators() {
+		// Same survival rule per implementation: any existing estimator
+		// rows mean the catalog was tuned; leave them alone.
+		if have, err := db.Estimators(name); err != nil || len(have) > 0 {
+			continue
+		}
+		for attr, expr := range exprs {
+			if err := db.RegisterEstimator(name, attr, expr); err != nil {
+				return nil, fmt.Errorf("icdb: seed estimator %s(%s): %w", attr, name, err)
+			}
+		}
+	}
+	for _, g := range builtinGenerators() {
+		if _, err := db.GeneratorByName(g.Name); err == nil {
+			continue
+		}
+		if err := db.RegisterGenerator(g); err != nil {
+			return nil, fmt.Errorf("icdb: seed generator %q: %w", g.Name, err)
+		}
+	}
 	return db, nil
 }
 
@@ -208,6 +274,7 @@ func (db *DB) InvalidateCaches() {
 	db.impls = nil
 	db.byFn = nil
 	db.byCt = nil
+	db.ests = nil
 	db.wOK = false
 }
 
@@ -237,8 +304,53 @@ func (db *DB) ensureIndexes() error {
 	if err != nil {
 		return err
 	}
-	db.impls, db.byFn, db.byCt = impls, byFn, byCt
+	ests := make(map[string]*estPair)
+	var estErr error
+	err = db.store.Scan(TableEstimators, nil, func(r relstore.Row) bool {
+		impl, attr := asString(r["impl"]), asString(r["attr"])
+		e, perr := iif.ParseExpr(asString(r["expr"]))
+		if perr != nil {
+			estErr = fmt.Errorf("icdb: estimator %s(%s): %w", attr, impl, perr)
+			return false
+		}
+		setEstimator(ests, impl, attr, e)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if estErr != nil {
+		return estErr
+	}
+	db.impls, db.byFn, db.byCt, db.ests = impls, byFn, byCt, ests
 	return nil
+}
+
+// setEstimator files a compiled estimator expression under (impl, attr).
+func setEstimator(ests map[string]*estPair, impl, attr string, e iif.Expr) {
+	p := ests[impl]
+	if p == nil {
+		p = &estPair{}
+		ests[impl] = p
+	}
+	switch attr {
+	case "area":
+		p.area = e
+	case "delay":
+		p.delay = e
+	}
+}
+
+// noteEstimator records a freshly registered estimator in the live cache
+// (a no-op while the derived state is unbuilt — the next ensureIndexes
+// picks the row up from the store).
+func (db *DB) noteEstimator(impl, attr string, e iif.Expr) {
+	db.cmu.Lock()
+	defer db.cmu.Unlock()
+	if db.ests == nil {
+		return
+	}
+	setEstimator(db.ests, impl, attr, e)
 }
 
 // indexImpl files im under its name, functions, and component type,

@@ -34,8 +34,8 @@ func TestQueryOrderedByAttr(t *testing.T) {
 				t.Fatalf("QueryOrdered(%+v): no candidates", order)
 			}
 			if !sort.SliceIsSorted(cands, func(i, j int) bool {
-				ri := order.rank(&cands[i].Impl, cands[i].Cost)
-				rj := order.rank(&cands[j].Impl, cands[j].Cost)
+				ri := order.rank(&cands[i].Impl, cands[i].Area, cands[i].Delay, cands[i].Cost)
+				rj := order.rank(&cands[j].Impl, cands[j].Area, cands[j].Delay, cands[j].Cost)
 				if ri != rj {
 					return ri < rj
 				}

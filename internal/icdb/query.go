@@ -17,10 +17,15 @@ type Attrs map[string]float64
 
 // Constraint restricts the implementations a query may return. Build one
 // with Where (an IIF attribute expression, the CQL layer of §5) or with
-// the typed helpers ForWidth / MaxArea / MaxDelay.
+// the typed helpers ForWidth / MaxArea / MaxDelay / AtWidth.
 type Constraint struct {
 	src  string
 	pass func(Attrs) (bool, error)
+	// atWidth, when non-zero, marks the constraint as the query's width
+	// evaluation point (see AtWidth): the engine evaluates estimator
+	// expressions there before filtering and ranking. Negative values
+	// record an invalid requested width, rejected when the query runs.
+	atWidth int
 }
 
 // String returns the constraint's source form, for diagnostics.
@@ -73,6 +78,42 @@ func ForWidth(n int) Constraint {
 			return a["width_min"] <= float64(n) && a["width_max"] >= float64(n), nil
 		},
 	}
+}
+
+// AtWidth sets the query's attribute-evaluation point: candidates must
+// cover width n (like ForWidth), and every area/delay value the query
+// filters, ranks, or reports is the implementation's estimator
+// expression evaluated at n — implementations without a registered
+// estimator keep their scalar estimates, the degenerate
+// constant-expression case. The attribute environment also gains a
+// "width" attribute holding n, so Where expressions may reference it.
+func AtWidth(n int) Constraint {
+	c := ForWidth(n)
+	c.src = fmt.Sprintf("at width %d", n)
+	c.atWidth = n
+	if n < 1 {
+		c.atWidth = -1
+	}
+	return c
+}
+
+// evalWidth extracts the width evaluation point from a query's
+// constraints: 0 when no AtWidth constraint is present. Conflicting or
+// invalid points are rejected before any row is visited.
+func evalWidth(cs []Constraint) (int, error) {
+	w := 0
+	for _, c := range cs {
+		switch {
+		case c.atWidth == 0:
+		case c.atWidth < 0:
+			return 0, fmt.Errorf("icdb: %s: width must be at least 1", c.src)
+		case w != 0 && w != c.atWidth:
+			return 0, fmt.Errorf("icdb: conflicting width evaluation points %d and %d", w, c.atWidth)
+		default:
+			w = c.atWidth
+		}
+	}
+	return w, nil
 }
 
 // MaxArea keeps implementations whose per-bit area estimate is at most a.
@@ -255,6 +296,12 @@ type Candidate struct {
 	// Impl.Clone), except in the streaming Scan queries, which share the
 	// cache's backing and document the read-only contract themselves.
 	Impl Impl
+	// Area and Delay are the cost estimates the query evaluated for this
+	// candidate: under an AtWidth evaluation point they are the estimator
+	// expressions evaluated at that width, otherwise the implementation's
+	// scalar per-bit estimates (Impl.Area / Impl.Delay).
+	Area  float64
+	Delay float64
 	// Cost is the ranking score: Area*area_weight + Delay*delay_weight,
 	// with weights taken from tool parameters (tool "icdb", defaulting to
 	// 1). Lower is better. Cost carries the weighted score even when a
@@ -293,15 +340,16 @@ func (o Order) validate() error {
 
 // rank computes im's sort key under o: the value candidates are compared
 // by, negated for descending orders so ranking logic is always
-// ascending.
-func (o Order) rank(im *Impl, cost float64) float64 {
+// ascending. area and delay are the query-evaluated estimates (see
+// Candidate.Area), so ordering by them is width-aware under AtWidth.
+func (o Order) rank(im *Impl, area, delay, cost float64) float64 {
 	v := cost
 	switch o.Attr {
 	case "", OrderKeyCost:
 	case "area":
-		v = im.Area
+		v = area
 	case "delay":
-		v = im.Delay
+		v = delay
 	case "stages":
 		v = float64(im.Stages)
 	case "width_min":
@@ -507,27 +555,72 @@ func (db *DB) forEachImpl(visit func(*Impl) bool) error {
 	})
 }
 
-// acceptAll evaluates the constraints against im's attributes. The
-// attribute map pointed to by attrs is allocated once and refilled per
-// candidate: constraints are only constructible inside this package
-// (Where, AttrCmp, ForWidth, MaxArea, MaxDelay) and none retains the
-// map — an invariant every new constructor must keep — so reuse is
-// sound and keeps constrained streaming at O(1) allocations per row.
-func acceptAll(cs []Constraint, im *Impl, attrs *Attrs) (bool, error) {
-	if len(cs) == 0 {
-		return true, nil
+// attrEval is the attribute-evaluation context of one streamed query: a
+// zero width is the scalar engine (attributes read straight off the
+// implementation), a positive width evaluates estimator expressions
+// there. Its methods read db.ests and therefore must run with the
+// derived indexes live — in practice, inside the visitor of an implSeq,
+// which streams under the index read lock (EstimateImpl wraps its own
+// withIndexes for the public point lookup).
+type attrEval struct {
+	db    *DB
+	width int
+}
+
+// fill (re)fills a with im's attributes and returns the evaluated area
+// and delay estimates. At a width point, a gains "width" and its
+// area/delay entries are replaced by the estimator-evaluated values, so
+// constraints filter on exactly what ranking scores. Estimator
+// expressions themselves see the scalar attributes (area and delay are
+// the per-bit estimates while both expressions evaluate).
+func (ev attrEval) fill(im *Impl, a Attrs) (area, delay float64, err error) {
+	im.fillAttrs(a)
+	area, delay = im.Area, im.Delay
+	if ev.width == 0 {
+		return area, delay, nil
+	}
+	a["width"] = float64(ev.width)
+	if est := ev.db.ests[im.Name]; est != nil {
+		if est.area != nil {
+			if area, err = evalAttr(est.area, a); err != nil {
+				return 0, 0, fmt.Errorf("icdb: estimator area(%s): %w", im.Name, err)
+			}
+		}
+		if est.delay != nil {
+			if delay, err = evalAttr(est.delay, a); err != nil {
+				return 0, 0, fmt.Errorf("icdb: estimator delay(%s): %w", im.Name, err)
+			}
+		}
+	}
+	a["area"], a["delay"] = area, delay
+	return area, delay, nil
+}
+
+// evalAccept evaluates im at ev's width point and runs the constraints.
+// The attribute map pointed to by attrs is allocated once and refilled
+// per candidate: constraints are only constructible inside this package
+// (Where, AttrCmp, ForWidth, MaxArea, MaxDelay, AtWidth) and none
+// retains the map — an invariant every new constructor must keep — so
+// reuse is sound and keeps constrained streaming at O(1) allocations per
+// row.
+func (ev attrEval) evalAccept(cs []Constraint, im *Impl, attrs *Attrs) (area, delay float64, ok bool, err error) {
+	if len(cs) == 0 && ev.width == 0 {
+		return im.Area, im.Delay, true, nil
 	}
 	if *attrs == nil {
 		*attrs = make(Attrs, 8)
 	}
-	im.fillAttrs(*attrs)
+	area, delay, err = ev.fill(im, *attrs)
+	if err != nil {
+		return 0, 0, false, err
+	}
 	for _, c := range cs {
 		pass, err := c.Accept(*attrs)
 		if err != nil || !pass {
-			return false, err
+			return 0, 0, false, err
 		}
 	}
-	return true, nil
+	return area, delay, true, nil
 }
 
 // rankSeq materializes the ranked answer of one streamed query:
@@ -541,13 +634,18 @@ func (db *DB) rankSeq(seq implSeq, cs []Constraint, k int, order Order) ([]Candi
 	if err := order.validate(); err != nil {
 		return nil, err
 	}
+	width, err := evalWidth(cs)
+	if err != nil {
+		return nil, err
+	}
 	wa, wd := db.rankWeights() // before the stream: rankWeights takes the cache lock itself
+	ev := attrEval{db: db, width: width}
 	var kept []heapItem
 	var attrs Attrs
 	var cerr error
 	h := candHeap{limit: k}
-	err := seq(func(im *Impl) bool {
-		ok, err := acceptAll(cs, im, &attrs)
+	err = seq(func(im *Impl) bool {
+		area, delay, ok, err := ev.evalAccept(cs, im, &attrs)
 		if err != nil {
 			cerr = err
 			return false
@@ -555,8 +653,8 @@ func (db *DB) rankSeq(seq implSeq, cs []Constraint, k int, order Order) ([]Candi
 		if !ok {
 			return true
 		}
-		cost := im.Area*wa + im.Delay*wd
-		it := heapItem{im: im, cost: cost, rank: order.rank(im, cost)}
+		cost := area*wa + delay*wd
+		it := heapItem{im: im, area: area, delay: delay, cost: cost, rank: order.rank(im, area, delay, cost)}
 		if k > 0 {
 			h.offer(it)
 		} else {
@@ -577,7 +675,7 @@ func (db *DB) rankSeq(seq implSeq, cs []Constraint, k int, order Order) ([]Candi
 	sort.SliceStable(kept, func(i, j int) bool { return worse(kept[j], kept[i]) })
 	out := make([]Candidate, len(kept))
 	for i, it := range kept {
-		out[i] = Candidate{Impl: it.im.Clone(), Cost: it.cost}
+		out[i] = Candidate{Impl: it.im.Clone(), Area: it.area, Delay: it.delay, Cost: it.cost}
 	}
 	return out, nil
 }
@@ -586,11 +684,16 @@ func (db *DB) rankSeq(seq implSeq, cs []Constraint, k int, order Order) ([]Candi
 // costing, and delivery to the caller's visitor, allocating O(1) total
 // beyond what the visitor itself does.
 func (db *DB) scanSeq(seq implSeq, cs []Constraint, visit func(Candidate) bool) error {
+	width, err := evalWidth(cs)
+	if err != nil {
+		return err
+	}
 	wa, wd := db.rankWeights()
+	ev := attrEval{db: db, width: width}
 	var attrs Attrs
 	var cerr error
-	err := seq(func(im *Impl) bool {
-		ok, err := acceptAll(cs, im, &attrs)
+	err = seq(func(im *Impl) bool {
+		area, delay, ok, err := ev.evalAccept(cs, im, &attrs)
 		if err != nil {
 			cerr = err
 			return false
@@ -598,7 +701,7 @@ func (db *DB) scanSeq(seq implSeq, cs []Constraint, visit func(Candidate) bool) 
 		if !ok {
 			return true
 		}
-		return visit(Candidate{Impl: *im, Cost: im.Area*wa + im.Delay*wd})
+		return visit(Candidate{Impl: *im, Area: area, Delay: delay, Cost: area*wa + delay*wd})
 	})
 	if err != nil {
 		return err
@@ -653,12 +756,14 @@ type candHeap struct {
 }
 
 // heapItem is one retained candidate mid-ranking: rank is the Order sort
-// key (already negated for descending orders), cost the weighted score
-// reported in the final Candidate.
+// key (already negated for descending orders); area, delay, and cost are
+// the evaluated estimates reported in the final Candidate.
 type heapItem struct {
-	im   *Impl
-	cost float64
-	rank float64
+	im    *Impl
+	area  float64
+	delay float64
+	cost  float64
+	rank  float64
 }
 
 // worse reports whether a ranks strictly after b (higher rank, name as

@@ -34,7 +34,11 @@ const (
 	// snapVersion is the current format version. Readers reject any other
 	// value: the format is versioned, not self-describing beyond the
 	// schema header (see SNAPSHOT.md for the compatibility policy).
-	snapVersion = 1
+	// Version history: 1 = PR 3 layout; 2 = the same wire layout with the
+	// generators and estimators relations present as sections. A v1 file
+	// necessarily lacks them, so a v2 reader rejects it outright — the
+	// JSON format remains the cross-version compatibility path.
+	snapVersion = 2
 	// snapTrailerLen is the CRC-32C trailer size.
 	snapTrailerLen = 4
 )

@@ -278,6 +278,22 @@ func TestSnapshotRobustness(t *testing.T) {
 			t.Errorf("wrong version: %v", err)
 		}
 	})
+	t.Run("v1 snapshot rejected", func(t *testing.T) {
+		// A version-1 file (the PR 3 format, predating the generators and
+		// estimators sections) must be rejected with a clear version error
+		// — not misparsed as a catalog missing the new relations. JSON
+		// stays the cross-version compatibility path.
+		old := append([]byte(nil), data...)
+		binary.LittleEndian.PutUint32(old[8:], 1)
+		binary.LittleEndian.PutUint32(old[len(old)-4:], crcOf(old[:len(old)-4]))
+		err := load(old)
+		if err == nil || !strings.Contains(err.Error(), "unsupported snapshot version 1") {
+			t.Fatalf("v1 snapshot: %v, want unsupported-version error", err)
+		}
+		if !strings.Contains(err.Error(), "reads version 2") {
+			t.Errorf("v1 snapshot error %v does not name the supported version", err)
+		}
+	})
 	t.Run("corrupted byte", func(t *testing.T) {
 		for _, off := range []int{12, len(data) / 2, len(data) - 5} {
 			bad := append([]byte(nil), data...)

@@ -1,5 +1,5 @@
 #!/bin/sh
-# bench.sh — run the ICDB benchmark harness and emit the BENCH_PR3.json
+# bench.sh — run the ICDB benchmark harness and emit the BENCH_PR5.json
 # trajectory file at the repo root.
 #
 # Usage:
@@ -10,7 +10,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 SIZES="${SIZES:-1000,10000}"
-OUT="${OUT:-BENCH_PR3.json}"
+OUT="${OUT:-BENCH_PR5.json}"
 BENCHTIME="${BENCHTIME:-300ms}"
 GUARD_FLAG=""
 [ "${GUARD:-0}" != "0" ] && GUARD_FLAG="-guard"
