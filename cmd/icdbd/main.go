@@ -1,0 +1,134 @@
+// Command icdbd serves the ICDB component database over the wire
+// protocol (internal/wire): the paper's tool/database split as a
+// long-lived service. Synthesis tools — or icdbq in client mode —
+// connect over TCP, each getting its own CQL session (current width,
+// tool-parameter overrides, expander reuse), while snapshot-isolated
+// reads keep one client's streamed find from blocking another's writes.
+//
+// Usage:
+//
+//	icdbd [-addr 127.0.0.1:7390] [-db catalog] [-save] [-designs dir] [-v]
+//
+// With -db the catalog is loaded from the given file (JSON or binary
+// snapshot, sniffed); without it the server starts from the builtin
+// seeded catalog. -save writes the catalog back (as a binary snapshot)
+// on graceful shutdown; it requires -db. -designs names the only
+// directory "expand <file>" commands may read designs from — without
+// it, expand-from-file is disabled (the safe default for a network
+// service). SIGINT or SIGTERM shuts the server down gracefully:
+// in-flight connections are closed, then the catalog is saved.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+
+	"icdb/internal/icdb"
+	"icdb/internal/relstore"
+	"icdb/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "icdbd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("icdbd", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7390", "TCP address to listen on")
+	dbPath := fs.String("db", "", "catalog file to load (JSON or snapshot); empty starts from the builtin seed")
+	save := fs.Bool("save", false, "save the catalog back to -db (as a binary snapshot) on graceful shutdown")
+	designs := fs.String("designs", "", "directory expand commands may read design files from; empty disables expand-from-file")
+	verbose := fs.Bool("v", false, "log per-connection lifecycle events")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	if *save && *dbPath == "" {
+		return fmt.Errorf("-save needs -db to know where to save")
+	}
+
+	store := relstore.New()
+	if *dbPath != "" {
+		var err error
+		if store, err = relstore.Load(*dbPath); err != nil {
+			if !errors.Is(err, os.ErrNotExist) {
+				return err
+			}
+			// A missing -db file with -save is a fresh catalog to be
+			// created at shutdown; without -save it is a mistake.
+			if !*save {
+				return fmt.Errorf("catalog %s does not exist (use -save to create it at shutdown)", *dbPath)
+			}
+			store = relstore.New()
+			log.Printf("catalog %s does not exist; starting from the builtin seed", *dbPath)
+		}
+	}
+	db, err := icdb.Open(store)
+	if err != nil {
+		return err
+	}
+
+	srv := &wire.Server{DB: db}
+	if *designs != "" {
+		srv.ReadFile = designReader(*designs)
+	}
+	if *verbose {
+		srv.Logf = log.Printf
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("icdbd listening on %s", ln.Addr())
+
+	// Serve until a termination signal; Close unblocks Serve and waits
+	// for every connection handler to unwind (mid-stream commands stop
+	// at their next socket write, leaving the store consistent).
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	select {
+	case s := <-sig:
+		log.Printf("received %v, shutting down", s)
+		srv.Close()
+		<-done
+	case err := <-done:
+		if err != nil {
+			return err
+		}
+	}
+
+	if *save {
+		if err := store.SaveSnapshot(*dbPath); err != nil {
+			return fmt.Errorf("saving catalog: %w", err)
+		}
+		log.Printf("catalog saved to %s", *dbPath)
+	}
+	return nil
+}
+
+// designReader confines "expand <file>" reads to dir: the
+// client-supplied path must be a local relative path (no absolute
+// paths, no ".." escapes) and resolves inside dir.
+func designReader(dir string) func(path string) ([]byte, error) {
+	return func(path string) ([]byte, error) {
+		if !filepath.IsLocal(path) {
+			return nil, fmt.Errorf("design path %q must be relative to the server's designs directory", path)
+		}
+		return os.ReadFile(filepath.Join(dir, path))
+	}
+}

@@ -77,6 +77,7 @@ type benchReport struct {
 	PrePRBaseline map[string]map[string]float64 `json:"pre_pr_baseline"`
 	Comparisons   []benchComparison             `json:"comparisons"`
 	Measurements  []benchMeasure                `json:"measurements"`
+	WireBench     *wireBenchResult              `json:"wire_concurrent_clients,omitempty"`
 }
 
 func compare(name string, size int, baseline string, now, was benchMeasure) benchComparison {
@@ -100,6 +101,7 @@ func runBench(args []string) error {
 	out := fs.String("out", defaultBenchOut, "output JSON path")
 	benchtime := fs.String("benchtime", "300ms", "per-benchmark measuring time")
 	guard := fs.Bool("guard", false, "fail unless LoadSnapshot beats JSON Load at the 10000 size")
+	conns := fs.Int("conns", 200, "concurrent clients for the wire-server scenario (0 disables it)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -373,6 +375,17 @@ func runBench(args []string) error {
 			}
 		}),
 	)
+
+	// Concurrent-client scenario: an in-process wire server under mixed
+	// find/generate/expand traffic from hundreds of sessions. Any command
+	// error fails the bench — under load the server must stay correct.
+	if *conns > 0 {
+		wb, err := runWireBench(*conns, 25, 2000)
+		if err != nil {
+			return fmt.Errorf("wire bench: %w", err)
+		}
+		report.WireBench = wb
+	}
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -1,0 +1,156 @@
+// bench_wire.go implements the concurrent-client scenario of "icdbq
+// bench": an in-process icdbd server (internal/wire) on a loopback
+// listener, driven by hundreds of concurrent connections issuing mixed
+// find/generate/expand traffic. It measures aggregate throughput and
+// per-command latency percentiles, and exercises the property the
+// server is built on — streamed finds iterate snapshot-isolated reads,
+// so writers on other sessions never wait on a reader.
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"icdb/internal/benchgen"
+	"icdb/internal/wire"
+)
+
+// benchDesign is the design the expand traffic expands, served to the
+// wire server from memory (no filesystem in the loop).
+const benchDesign = "NAME: bench_cell; PARAMETER: size; INORDER: d, clk; OUTORDER: q; { q = d @ (~r clk); }"
+
+// wireBenchResult is the concurrent-client scenario's report entry.
+type wireBenchResult struct {
+	Connections  int            `json:"connections"`
+	OpsPerConn   int            `json:"ops_per_conn"`
+	Ops          int            `json:"ops"`
+	Rows         int            `json:"rows"`
+	Mix          map[string]int `json:"mix"`
+	CatalogSize  int            `json:"catalog_size"`
+	DurationMs   float64        `json:"duration_ms"`
+	OpsPerSec    float64        `json:"ops_per_sec"`
+	LatencyUsP50 float64        `json:"latency_us_p50"`
+	LatencyUsP95 float64        `json:"latency_us_p95"`
+	LatencyUsP99 float64        `json:"latency_us_p99"`
+	LatencyUsMax float64        `json:"latency_us_max"`
+}
+
+// runWireBench starts a wire server over a catalogSize-implementation
+// synthetic catalog and hammers it with conns concurrent sessions, each
+// running opsPerConn commands of mixed traffic: 3/5 streamed finds, 1/5
+// generates (writes), 1/5 design expands. Any command failure fails the
+// whole scenario — under load the server must stay correct, not just up.
+func runWireBench(conns, opsPerConn, catalogSize int) (*wireBenchResult, error) {
+	db, err := benchgen.NewDB(catalogSize)
+	if err != nil {
+		return nil, err
+	}
+	srv := &wire.Server{
+		DB:       db,
+		ReadFile: func(string) ([]byte, error) { return []byte(benchDesign), nil },
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	defer func() {
+		srv.Close()
+		<-serveDone
+	}()
+	addr := ln.Addr().String()
+
+	type connStats struct {
+		lat  []time.Duration
+		rows int
+		mix  map[string]int
+		err  error
+	}
+	stats := make([]connStats, conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ci := 0; ci < conns; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			st := &stats[ci]
+			st.lat = make([]time.Duration, 0, opsPerConn)
+			st.mix = make(map[string]int)
+			c, err := wire.Dial(addr)
+			if err != nil {
+				st.err = fmt.Errorf("conn %d: %w", ci, err)
+				return
+			}
+			defer c.Close()
+			if _, err := c.Exec(fmt.Sprintf("set width %d", ci%16+1), nil); err != nil {
+				st.err = fmt.Errorf("conn %d set: %w", ci, err)
+				return
+			}
+			for i := 0; i < opsPerConn; i++ {
+				var cmd, kind string
+				switch i % 5 {
+				case 0, 1, 2:
+					kind = "find"
+					cmd = "find component executing ADD order by cost limit 5"
+				case 3:
+					kind = "generate"
+					cmd = fmt.Sprintf("generate Counter size=%d", (ci*opsPerConn+i)%60+1)
+				default:
+					kind = "expand"
+					cmd = "expand bench.iif size=4"
+				}
+				t0 := time.Now()
+				rows, err := c.Exec(cmd, nil)
+				if err != nil {
+					st.err = fmt.Errorf("conn %d %s: %w", ci, kind, err)
+					return
+				}
+				st.lat = append(st.lat, time.Since(t0))
+				st.rows += rows
+				st.mix[kind]++
+			}
+		}(ci)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &wireBenchResult{
+		Connections: conns,
+		OpsPerConn:  opsPerConn,
+		Mix:         make(map[string]int),
+		CatalogSize: catalogSize,
+		DurationMs:  float64(elapsed.Nanoseconds()) / 1e6,
+	}
+	var all []time.Duration
+	for i := range stats {
+		if stats[i].err != nil {
+			return nil, stats[i].err
+		}
+		all = append(all, stats[i].lat...)
+		res.Rows += stats[i].rows
+		for k, v := range stats[i].mix {
+			res.Mix[k] += v
+		}
+	}
+	res.Ops = len(all)
+	res.OpsPerSec = float64(res.Ops) / elapsed.Seconds()
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(all)-1))
+		return float64(all[i].Nanoseconds()) / 1e3
+	}
+	res.LatencyUsP50 = pct(0.50)
+	res.LatencyUsP95 = pct(0.95)
+	res.LatencyUsP99 = pct(0.99)
+	res.LatencyUsMax = pct(1.0)
+	fmt.Fprintf(os.Stderr,
+		"wire_concurrent_clients: %d conns x %d ops in %.0fms: %.0f ops/s, p50 %.0fus p95 %.0fus p99 %.0fus\n",
+		conns, opsPerConn, res.DurationMs, res.OpsPerSec,
+		res.LatencyUsP50, res.LatencyUsP95, res.LatencyUsP99)
+	return res, nil
+}

@@ -1,0 +1,113 @@
+// connect.go implements icdbq's client mode: "icdbq connect" opens a
+// wire-protocol session against a running icdbd server (internal/wire)
+// and drives it as a REPL or as a one-shot command, and "icdbq cql
+// -remote" routes the existing cql subcommand over the same transport.
+// Result rows stream to stdout as the server sends them; the session
+// state the set command adjusts (width, weights) lives server-side and
+// spans the whole connection.
+package main
+
+import (
+	"bufio"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"icdb/internal/wire"
+)
+
+// defaultAddr is where icdbq connect and icdbd meet unless told
+// otherwise; it is the single source of truth for both usage strings
+// and the -addr flag default.
+const defaultAddr = "127.0.0.1:7390"
+
+// runConnect dispatches "icdbq connect": a remote REPL by default, one
+// command with -c.
+func runConnect(args []string) error {
+	fs := flag.NewFlagSet("connect", flag.ContinueOnError)
+	addr := fs.String("addr", defaultAddr, "icdbd server address")
+	cmd := fs.String("c", "", "execute one command and exit instead of starting a REPL")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q (use -c %q to run one command)", fs.Arg(0), fs.Arg(0))
+	}
+	c, err := wire.Dial(*addr)
+	if err != nil {
+		return fmt.Errorf("connecting to %s: %w", *addr, err)
+	}
+	defer c.Close()
+	if *cmd != "" {
+		return remoteExec(c, *cmd)
+	}
+	return remoteREPL(c, *addr)
+}
+
+// runRemoteCQL dispatches "icdbq cql -remote": the one-shot cql
+// subcommand routed to a server instead of the in-process engine.
+func runRemoteCQL(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf(`cql -remote needs an address and one command string, e.g. icdbq cql -remote %s "find component executing STORAGE limit 5"`, defaultAddr)
+	}
+	c, err := wire.Dial(args[0])
+	if err != nil {
+		return fmt.Errorf("connecting to %s: %w", args[0], err)
+	}
+	defer c.Close()
+	return remoteExec(c, args[1])
+}
+
+// remoteExec runs one command on the session, streaming rows to stdout.
+func remoteExec(c *wire.Client, cmd string) error {
+	_, err := c.Exec(cmd, func(line string) { fmt.Println(line) })
+	return err
+}
+
+// remoteREPL mirrors the local REPL (cql.go) over a wire session: the
+// server holds the session state, so set width / set area_weight stick
+// across commands here exactly as they do locally. Remote errors name
+// no column, so there is no caret line.
+func remoteREPL(c *wire.Client, addr string) error {
+	fmt.Printf("ICDB CQL, connected to %s. Type \"help\" for the command summary, \"quit\" to leave.\n", addr)
+	rd := bufio.NewReader(os.Stdin)
+	for {
+		fmt.Print(replPrompt)
+		raw, err := rd.ReadString('\n')
+		if err != nil && raw == "" {
+			fmt.Println()
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		atEOF := err != nil
+		line := strings.TrimSpace(raw)
+		switch line {
+		case "":
+			if atEOF {
+				fmt.Println()
+				return nil
+			}
+			continue
+		case "quit", "exit":
+			return nil
+		}
+		if err := remoteExec(c, line); err != nil {
+			var re *wire.RemoteError
+			if errors.As(err, &re) {
+				fmt.Printf("error: %v\n", re)
+			} else {
+				// Transport failure: the connection is gone.
+				return err
+			}
+		}
+		if atEOF {
+			fmt.Println()
+			return nil
+		}
+	}
+}

@@ -1,18 +1,19 @@
 // Command icdbq is a small front-end over the ICDB engine: it answers
 // query-by-function requests against the builtin component database,
-// executes textual CQL commands (one-shot or as an interactive REPL),
-// runs component generators and cost estimators, and expands IIF
-// designs to flat equation networks.
+// executes textual CQL commands (one-shot, as an interactive REPL, or
+// against a remote icdbd server), runs component generators and cost
+// estimators, and expands IIF designs to flat equation networks.
 //
 // Usage:
 //
 //	icdbq impls
 //	icdbq query <function>... [-where <expr>]
-//	icdbq cql "<command>" | icdbq cql -i
+//	icdbq cql "<command>" | icdbq cql -i | icdbq cql -remote <addr> "<command>"
+//	icdbq connect [-addr 127.0.0.1:7390] [-c "<command>"]
 //	icdbq expand <design.iif|-> [param=value...]
 //	icdbq generate <generator|component> param=value...
 //	icdbq estimate <impl> width=<bits> [area|delay|cost]
-//	icdbq bench [-sizes 1000,10000] [-out BENCH_PR5.json] [-benchtime 300ms] [-guard]
+//	icdbq bench [-sizes 1000,10000] [-out BENCH_PR6.json] [-benchtime 300ms] [-guard] [-conns 200]
 //
 // The usage lines above are generated from the command table in
 // usage.go and verified by TestDocCommentMatchesUsage; edit them there.
@@ -44,9 +45,15 @@ func run(args []string) error {
 	if len(args) == 0 {
 		return fmt.Errorf("%s", usageText())
 	}
-	if args[0] == "bench" {
+	switch {
+	case args[0] == "bench":
 		// Benchmarks build their own catalogs; no seeded DB needed.
 		return runBench(args[1:])
+	case args[0] == "connect":
+		// Client mode talks to an icdbd server; no local DB at all.
+		return runConnect(args[1:])
+	case args[0] == "cql" && len(args) > 1 && args[1] == "-remote":
+		return runRemoteCQL(args[2:])
 	}
 	db, err := icdb.Open(relstore.New())
 	if err != nil {

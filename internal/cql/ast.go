@@ -1,8 +1,8 @@
 package cql
 
 // Stmt is one parsed CQL command. The concrete types are FindStmt,
-// ShowStmt, DescribeStmt, ExpandStmt, GenerateStmt, EstimateStmt, and
-// HelpStmt.
+// ShowStmt, DescribeStmt, ExpandStmt, GenerateStmt, EstimateStmt,
+// SetStmt, and HelpStmt.
 type Stmt interface{ stmt() }
 
 // Word is an identifier-like token with its source column, kept through
@@ -120,6 +120,21 @@ type EstimateStmt struct {
 	Attr     *Word
 }
 
+// SetStmt is a "set <param> <value|off>" session command. Param is one
+// of width (the session's default width evaluation point for find
+// commands), area_weight, or delay_weight (session overrides of the
+// database ranking weights); "off" clears the parameter back to its
+// default.
+type SetStmt struct {
+	Param Word
+	// Value is the new setting; meaningless when Off is true.
+	Value float64
+	// Off reports the "off" form.
+	Off bool
+	// ValueCol is the value token's column, for positioned errors.
+	ValueCol int
+}
+
 // HelpStmt is the "help" command.
 type HelpStmt struct{}
 
@@ -129,4 +144,5 @@ func (*DescribeStmt) stmt() {}
 func (*ExpandStmt) stmt()   {}
 func (*GenerateStmt) stmt() {}
 func (*EstimateStmt) stmt() {}
+func (*SetStmt) stmt()      {}
 func (*HelpStmt) stmt()     {}

@@ -25,6 +25,8 @@ var HelpText = fmt.Sprintf(`CQL commands:
   expand <file|-> [param=value ...]
   generate <generator|component> param=value ...
   estimate <impl> width=<bits> [%s]
+  set width <bits|off> | set area_weight <w|off> | set delay_weight <w|off>
+  show session
   help
 
 Attributes: %s.
@@ -34,6 +36,9 @@ are the estimator expressions evaluated there (scalars when none is
 registered).
 Without "order by"/"limit", results stream in unspecified order; with
 either, they arrive ranked (default key: weighted cost, ascending).
+Session parameters: "set width" is the default evaluation point for
+find commands without an "at width" clause; the weight overrides
+rescore ranking for this session only. "show session" lists them.
 `, strings.Join(orderKeyWords, "|"), strings.Join(estimateWords, "|"), strings.Join(attrWords, ", "))
 
 // Env is the execution environment of a CQL session: the database
@@ -52,6 +57,15 @@ type Env struct {
 	// expander is created lazily and kept for the Env's lifetime, so a
 	// REPL session reuses parsed designs and expanded templates.
 	expander *expand.Expander
+
+	// Session parameters (the "set" command). width, when positive, is
+	// the default width evaluation point applied to find commands that
+	// have no "at width" clause of their own. wArea/wDelay, when non-nil,
+	// override the database ranking weights for this session's queries.
+	// Each Env is one session: a server gives every connection its own.
+	width  int
+	wArea  *float64
+	wDelay *float64
 }
 
 // Exec parses and executes one CQL command line. Results stream to
@@ -75,6 +89,8 @@ func (env *Env) Exec(src string) error {
 		return env.execGenerate(s)
 	case *EstimateStmt:
 		return env.execEstimate(s)
+	case *SetStmt:
+		return env.execSet(s)
 	case *HelpStmt:
 		_, err := io.WriteString(env.Out, HelpText)
 		return err
@@ -83,28 +99,101 @@ func (env *Env) Exec(src string) error {
 }
 
 // execFind compiles and runs a find command, printing one numbered row
-// per candidate as the engine yields it.
+// per candidate as the engine yields it. Session parameters apply here:
+// a set width fills in for a missing "at width" clause, and weight
+// overrides rescore the ranking. A failed write to env.Out stops the
+// stream immediately — a streamed find over a large catalog must not
+// keep scanning for a client that is gone.
 func (env *Env) execFind(f *FindStmt) error {
+	if f.At == nil && env.width > 0 {
+		at := *f // the session default must not mutate the caller's AST
+		at.At = &AtClause{Width: env.width}
+		f = &at
+	}
 	q, err := CompileFind(env.DB, f)
 	if err != nil {
 		return err
 	}
+	if env.wArea != nil || env.wDelay != nil {
+		wa, wd := env.DB.RankWeights()
+		if env.wArea != nil {
+			wa = *env.wArea
+		}
+		if env.wDelay != nil {
+			wd = *env.wDelay
+		}
+		q.cs = append(q.cs, icdb.Weights(wa, wd))
+	}
 	n := 0
+	var werr error
 	err = q.Run(func(c icdb.Candidate) bool {
 		n++
 		// Area/Delay are the query-evaluated estimates: the scalars on a
 		// plain find, the estimator values at the width of an "at width"
 		// find.
-		fmt.Fprintf(env.Out, "%d. %-12s %-18s width %d..%d area %g delay %g cost %g\n",
+		_, werr = fmt.Fprintf(env.Out, "%d. %-12s %-18s width %d..%d area %g delay %g cost %g\n",
 			n, c.Impl.Name, c.Impl.Component, c.Impl.WidthMin, c.Impl.WidthMax,
 			c.Area, c.Delay, c.Cost)
-		return true
+		return werr == nil
 	})
 	if err != nil {
 		return err
 	}
+	if werr != nil {
+		return werr
+	}
 	if n == 0 {
 		fmt.Fprintln(env.Out, "no matching implementations")
+	}
+	return nil
+}
+
+// execSet records one session parameter (see Env's session fields).
+func (env *Env) execSet(s *SetStmt) error {
+	switch s.Param.Text {
+	case "width":
+		if s.Off {
+			env.width = 0
+		} else {
+			env.width = int(s.Value)
+		}
+	case "area_weight":
+		env.wArea = setWeight(s)
+	case "delay_weight":
+		env.wDelay = setWeight(s)
+	default:
+		return errf(s.Param.Col, "unknown session parameter '%s'", s.Param.Text)
+	}
+	return env.showSession()
+}
+
+func setWeight(s *SetStmt) *float64 {
+	if s.Off {
+		return nil
+	}
+	v := s.Value
+	return &v
+}
+
+// showSession prints the session parameters, marking which are session
+// overrides and which fall through to the database defaults.
+func (env *Env) showSession() error {
+	w := env.Out
+	if env.width > 0 {
+		fmt.Fprintf(w, "width:        %d (default evaluation point for find)\n", env.width)
+	} else {
+		fmt.Fprintln(w, "width:        off (find uses scalar estimates unless 'at width' is given)")
+	}
+	dwa, dwd := env.DB.RankWeights()
+	if env.wArea != nil {
+		fmt.Fprintf(w, "area_weight:  %g (session override; database default %g)\n", *env.wArea, dwa)
+	} else {
+		fmt.Fprintf(w, "area_weight:  %g (database default)\n", dwa)
+	}
+	if env.wDelay != nil {
+		fmt.Fprintf(w, "delay_weight: %g (session override; database default %g)\n", *env.wDelay, dwd)
+	} else {
+		fmt.Fprintf(w, "delay_weight: %g (database default)\n", dwd)
 	}
 	return nil
 }
@@ -114,6 +203,8 @@ func (env *Env) execFind(f *FindStmt) error {
 // order).
 func (env *Env) execShow(s *ShowStmt) error {
 	switch s.What.Text {
+	case "session":
+		return env.showSession()
 	case "impls":
 		impls, err := env.DB.Impls()
 		if err != nil {

@@ -13,12 +13,14 @@ import (
 // attribute added there is immediately queryable here; "width" is this
 // layer's sugar over the width range (see compileCond).
 var (
-	commandWords  = []string{"find", "show", "describe", "expand", "generate", "estimate", "help"}
+	commandWords  = []string{"find", "show", "describe", "expand", "generate", "estimate", "set", "help"}
 	targetWords   = []string{"component", "components", "impls"}
 	clauseWords   = []string{"of", "executing", "with", "at", "order", "limit"}
 	attrWords     = append(icdb.ConstraintAttrs(), "width")
 	orderKeyWords = icdb.OrderKeys()
-	showWords     = []string{"impls", "components", "functions", "generators"}
+	showWords     = []string{"impls", "components", "functions", "generators", "session"}
+	// setWords are the session parameters a set command may adjust.
+	setWords = []string{"width", "area_weight", "delay_weight"}
 	// estimateWords are the attributes an estimate command may single
 	// out: the two estimator attributes plus the weighted cost score.
 	estimateWords = append(icdb.EstimatorAttrs(), "cost")
@@ -144,8 +146,49 @@ func (p *parser) command() (Stmt, error) {
 		return p.generate()
 	case "estimate":
 		return p.estimate()
+	case "set":
+		return p.set()
 	}
 	return &HelpStmt{}, nil
+}
+
+// set parses "set" Param (Number | "off"): the session-parameter
+// command.
+func (p *parser) set() (Stmt, error) {
+	t := p.cur()
+	param, ok := keywordIn(t, setWords)
+	if !ok {
+		if t.Kind == WORD {
+			e := &Error{Col: t.Col,
+				Msg:  "unknown session parameter '" + t.Text + "'",
+				Hint: suggest(t.Text, setWords)}
+			if e.Hint == "" {
+				e.Msg += " (valid: " + strings.Join(setWords, ", ") + ")"
+			}
+			return nil, e
+		}
+		return nil, errf(t.Col, "expected session parameter (%s) after 'set', got %s", strings.Join(setWords, ", "), describe(t))
+	}
+	p.advance()
+	s := &SetStmt{Param: Word{Text: param, Col: t.Col}}
+	v := p.cur()
+	switch {
+	case v.Kind == WORD && strings.EqualFold(v.Text, "off"):
+		s.Off = true
+	case v.Kind == NUMBER:
+		if param == "width" && (!v.IsInt || v.Val < 1) {
+			return nil, errf(v.Col, "expected positive whole number of bits after 'set width', got %s", describe(v))
+		}
+		if v.Val < 0 {
+			return nil, errf(v.Col, "expected non-negative %s, got %s", param, describe(v))
+		}
+		s.Value = v.Val
+	default:
+		return nil, errf(v.Col, "expected a number or 'off' after 'set %s', got %s", param, describe(v))
+	}
+	p.advance()
+	s.ValueCol = v.Col
+	return s, nil
 }
 
 // find parses

@@ -42,132 +42,63 @@ func (x *expansion) lookupInt(r *iif.Ref) (int, error) {
 	return 0, notC(r.Pos, "%q is not a parameter or variable", r.Name)
 }
 
+// cEnv adapts an expansion to iif.EvalEnv[int], binding the generic
+// evaluation core (iif.EvalExpr) to C-integer semantics: variables
+// shadow parameters, ++/-- mutate (outside speculative folds), hardware
+// operators are "not a C expression" (the notC error class speculative
+// folds fall through on). It is a pointer view of the expansion itself —
+// (*cEnv)(x) — so building one allocates nothing.
+type cEnv expansion
+
+func (c *cEnv) expn() *expansion { return (*expansion)(c) }
+
+func (c *cEnv) Lookup(r *iif.Ref) (int, error) { return c.expn().lookupInt(r) }
+
+func (c *cEnv) Mutate(pos iif.Pos, op iif.UnaryOp, operand iif.Expr) (int, error) {
+	x := c.expn()
+	if x.noMutate {
+		return 0, notC(pos, "%s not valid in a signal expression", op)
+	}
+	r, ok := operand.(*iif.Ref)
+	if !ok {
+		return 0, iif.Errf(pos, "%s needs a variable operand", op)
+	}
+	cur, err := x.lookupInt(r)
+	if err != nil {
+		return 0, err
+	}
+	delta := 1
+	if op == iif.UPreDec || op == iif.UPostDec {
+		delta = -1
+	}
+	if err := x.setVar(r, cur+delta); err != nil {
+		return 0, err
+	}
+	if op == iif.UPostInc || op == iif.UPostDec {
+		return cur, nil
+	}
+	return cur + delta, nil
+}
+
+func (c *cEnv) BadUnary(pos iif.Pos, op iif.UnaryOp) error {
+	return notC(pos, "operator %s not valid in a C expression", op)
+}
+
+func (c *cEnv) BadBinary(pos iif.Pos, op iif.BinaryOp) error {
+	return notC(pos, "operator %s not valid in a C expression", op)
+}
+
+func (c *cEnv) BadExpr(e iif.Expr) error {
+	return notC(iif.ExprPos(e), "expression is not a C expression")
+}
+
+// ShortCircuit is off during speculative folds — see iif.EvalEnv.
+func (c *cEnv) ShortCircuit() bool { return !c.noMutate }
+
 // evalInt evaluates e with C semantics: '+' adds, '*' multiplies,
 // comparisons yield 0/1, and ++/-- mutate variables.
 func (x *expansion) evalInt(e iif.Expr) (int, error) {
-	switch v := e.(type) {
-	case *iif.IntLit:
-		return v.V, nil
-
-	case *iif.Ref:
-		return x.lookupInt(v)
-
-	case *iif.Unary:
-		switch v.Op {
-		case iif.UNeg:
-			n, err := x.evalInt(v.X)
-			return -n, err
-		case iif.UNot:
-			n, err := x.evalInt(v.X)
-			return b2i(n == 0), err
-		case iif.UPreInc, iif.UPreDec, iif.UPostInc, iif.UPostDec:
-			if x.noMutate {
-				return 0, notC(v.Pos, "%s not valid in a signal expression", v.Op)
-			}
-			r, ok := v.X.(*iif.Ref)
-			if !ok {
-				return 0, iif.Errf(v.Pos, "%s needs a variable operand", v.Op)
-			}
-			cur, err := x.lookupInt(r)
-			if err != nil {
-				return 0, err
-			}
-			delta := 1
-			if v.Op == iif.UPreDec || v.Op == iif.UPostDec {
-				delta = -1
-			}
-			if err := x.setVar(r, cur+delta); err != nil {
-				return 0, err
-			}
-			if v.Op == iif.UPostInc || v.Op == iif.UPostDec {
-				return cur, nil
-			}
-			return cur + delta, nil
-		}
-		return 0, notC(v.Pos, "operator %s not valid in a C expression", v.Op)
-
-	case *iif.Binary:
-		l, err := x.evalInt(v.X)
-		if err != nil {
-			return 0, err
-		}
-		// Short-circuit before touching the right side — but not during
-		// speculative folds, where skipping the right side would let a
-		// signal reference slip through and make the same source fold or
-		// fail depending on parameter values.
-		if !x.noMutate {
-			switch v.Op {
-			case iif.BLAnd:
-				if l == 0 {
-					return 0, nil
-				}
-			case iif.BLOr:
-				if l != 0 {
-					return 1, nil
-				}
-			}
-		}
-		r, err := x.evalInt(v.Y)
-		if err != nil {
-			return 0, err
-		}
-		switch v.Op {
-		case iif.BOr:
-			return l + r, nil
-		case iif.BAnd:
-			return l * r, nil
-		case iif.BMinus:
-			return l - r, nil
-		case iif.BDiv:
-			if r == 0 {
-				return 0, iif.Errf(v.Pos, "division by zero")
-			}
-			return l / r, nil
-		case iif.BMod:
-			if r == 0 {
-				return 0, iif.Errf(v.Pos, "modulo by zero")
-			}
-			return l % r, nil
-		case iif.BPow:
-			return intPow(l, r, v)
-		case iif.BEq:
-			return b2i(l == r), nil
-		case iif.BNeq:
-			return b2i(l != r), nil
-		case iif.BLt:
-			return b2i(l < r), nil
-		case iif.BGt:
-			return b2i(l > r), nil
-		case iif.BLeq:
-			return b2i(l <= r), nil
-		case iif.BGeq:
-			return b2i(l >= r), nil
-		case iif.BLAnd:
-			return b2i(l != 0 && r != 0), nil
-		case iif.BLOr:
-			return b2i(l != 0 || r != 0), nil
-		}
-		return 0, notC(v.Pos, "operator %s not valid in a C expression", v.Op)
-	}
-	return 0, notC(iif.ExprPos(e), "expression is not a C expression")
-}
-
-func intPow(base, exp int, at *iif.Binary) (int, error) {
-	if exp < 0 {
-		return 0, iif.Errf(at.Pos, "negative exponent %d", exp)
-	}
-	out := 1
-	for i := 0; i < exp; i++ {
-		out *= base
-	}
-	return out, nil
-}
-
-func b2i(b bool) int {
-	if b {
-		return 1
-	}
-	return 0
+	return iif.EvalExpr[int](e, (*cEnv)(x))
 }
 
 // ---- signal (boolean) expression evaluation ----

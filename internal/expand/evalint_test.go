@@ -1,0 +1,135 @@
+package expand
+
+// Pins for the C-integer instantiation of the shared evaluator
+// (iif.EvalExpr via cEnv): the wrapper must keep every behavior
+// expand.evalInt had before the unification — int truncation, the notC
+// error class for out-of-domain constructs, mutation semantics, and the
+// speculative-fold (noMutate) mode.
+
+import (
+	"strings"
+	"testing"
+
+	"icdb/internal/iif"
+)
+
+func testExpansion() *expansion {
+	return &expansion{
+		params: map[string]int{"size": 8},
+		vars:   map[string]int{"i": 5},
+	}
+}
+
+func evalSrc(t *testing.T, x *expansion, src string) (int, error) {
+	t.Helper()
+	e, err := iif.ParseExpr(src)
+	if err != nil {
+		t.Fatalf("ParseExpr(%q): %v", src, err)
+	}
+	return x.evalInt(e)
+}
+
+func TestEvalIntPinnedCSemantics(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int
+	}{
+		{"7/2", 3},         // int division truncates
+		{"0-7/2", -3},      // toward zero
+		{"7%2", 1},         // Go int remainder
+		{"2 ** 10", 1024},  // integer power
+		{"size * 2", 16},   // parameter lookup
+		{"i + size", 13},   // vars and params together
+		{"1 || 1/0", 1},    // short-circuit skips poisoned right side
+		{"0 && 1/0", 0},    //
+		{"size == 8", 1},   // comparisons yield 0/1
+		{"!(size - 8)", 1}, //
+	}
+	for _, tc := range cases {
+		x := testExpansion()
+		got, err := evalSrc(t, x, tc.src)
+		if err != nil || got != tc.want {
+			t.Errorf("evalInt(%q) = %d, %v; want %d", tc.src, got, err, tc.want)
+		}
+	}
+}
+
+func TestEvalIntPinnedErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+		notC bool // expected to carry the notC marker (structural fallback)
+	}{
+		{"1/0", "division by zero", false},
+		{"1%0", "modulo by zero", false},
+		{"2 ** (0-1)", "negative exponent -1", false},
+		{"(1+2)++", "++ needs a variable operand", false},
+		{"bogus + 1", `"bogus" is not a parameter or variable`, true},
+		{"~b 1", "operator ~b not valid in a C expression", true},
+		{"1 ~d 2", "operator ~d not valid in a C expression", true},
+		{"a ~a(1/b)", "expression is not a C expression", true},
+	}
+	for _, tc := range cases {
+		x := testExpansion()
+		_, err := evalSrc(t, x, tc.src)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("evalInt(%q) err = %v, want %q", tc.src, err, tc.want)
+			continue
+		}
+		if got := isNotC(err); got != tc.notC {
+			t.Errorf("evalInt(%q): isNotC = %v, want %v (err %v)", tc.src, got, tc.notC, err)
+		}
+	}
+}
+
+func TestEvalIntMutation(t *testing.T) {
+	x := testExpansion()
+	if v, err := evalSrc(t, x, "++i"); err != nil || v != 6 || x.vars["i"] != 6 {
+		t.Fatalf("++i = %d, %v (i now %d); want 6, i=6", v, err, x.vars["i"])
+	}
+	if v, err := evalSrc(t, x, "i++"); err != nil || v != 6 || x.vars["i"] != 7 {
+		t.Fatalf("i++ = %d, %v (i now %d); want 6, i=7", v, err, x.vars["i"])
+	}
+	if v, err := evalSrc(t, x, "i--"); err != nil || v != 7 || x.vars["i"] != 6 {
+		t.Fatalf("i-- = %d, %v (i now %d); want 7, i=6", v, err, x.vars["i"])
+	}
+	// Parameters are immutable.
+	if _, err := evalSrc(t, x, "size++"); err == nil ||
+		!strings.Contains(err.Error(), `cannot assign to parameter "size"`) {
+		t.Fatalf("size++ err = %v, want cannot assign to parameter", err)
+	}
+}
+
+// TestEvalIntPureMode pins the speculative-fold behaviors: mutation is a
+// notC rejection (so no side effect escapes a failed fold), and
+// short-circuiting is disabled so a signal reference on either side of
+// &&/|| forces the structural path regardless of parameter values.
+func TestEvalIntPureMode(t *testing.T) {
+	x := testExpansion()
+	e, err := iif.ParseExpr("++i")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, perr := x.evalIntPure(e)
+	if perr == nil || !strings.Contains(perr.Error(), "++ not valid in a signal expression") {
+		t.Fatalf("pure ++i err = %v, want rejection", perr)
+	}
+	if !isNotC(perr) {
+		t.Fatalf("pure ++i: rejection must carry the notC class, got %v", perr)
+	}
+	if x.vars["i"] != 5 {
+		t.Fatalf("pure ++i mutated i to %d", x.vars["i"])
+	}
+	// "0 && Q" must NOT fold to 0 in pure mode: Q is a signal.
+	e, err = iif.ParseExpr("0 && Q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.evalIntPure(e); err == nil || !isNotC(err) {
+		t.Fatalf("pure 0 && Q: err = %v, want notC fallback", err)
+	}
+	// But with short-circuiting on (normal mode), the same fold succeeds.
+	if v, err := x.evalInt(e); err != nil || v != 0 {
+		t.Fatalf("0 && Q in mutating mode = %d, %v; want 0 (short-circuit)", v, err)
+	}
+}

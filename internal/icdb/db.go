@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"icdb/internal/genus"
 	"icdb/internal/iif"
@@ -177,17 +178,100 @@ type DB struct {
 	// computed from the store (guarded by mu).
 	nextInstID int
 
-	// cmu guards the derived state below. Cached *Impl values are shared
-	// between the cache and the posting maps and treated as immutable;
-	// public methods hand out copies.
-	cmu   sync.RWMutex
-	impls map[string]*Impl                         // name -> decoded implementation
-	byFn  map[genus.Function]map[string]*Impl      // function -> posting map
-	byCt  map[genus.ComponentType]map[string]*Impl // component type -> posting map
-	ests  map[string]*estPair                      // impl name -> compiled estimators
+	// cmu guards the der pointer and the weight cache below. The derived
+	// state itself lives in a copy-on-write *derived snapshot (same
+	// discipline as relstore's tableData): readers pin the current
+	// snapshot under a brief RLock and iterate it lock-free, so streamed
+	// query visitors may take as long as they like — and re-enter the DB —
+	// without blocking RegisterImpl or each other.
+	cmu sync.RWMutex
+	der *derived // nil until built; see ensureIndexes / InvalidateCaches
 	// Cached ranking weights (tool "icdb"), refreshed after SetToolParam.
 	wa, wd float64
 	wOK    bool
+}
+
+// derived is one immutable-once-shared snapshot of the DB's derived
+// read-path state: the decoded-implementation cache, the two inverted
+// indexes, and the compiled estimators. Cached *Impl and *estPair values
+// are shared between snapshots and treated as immutable; mutators swap
+// in fresh values instead of editing in place.
+//
+// shared flips to true the moment a reader pins the snapshot
+// (derivedSnap, under cmu.RLock); mutators (under cmu.Lock) then clone
+// before writing (writableDerived). RLock and Lock are mutually
+// exclusive, so the flag is always seen by a would-be writer before the
+// maps are touched.
+type derived struct {
+	impls  map[string]*Impl                         // name -> decoded implementation
+	byFn   map[genus.Function]map[string]*Impl      // function -> posting map
+	byCt   map[genus.ComponentType]map[string]*Impl // component type -> posting map
+	ests   map[string]*estPair                      // impl name -> compiled estimators
+	shared atomic.Bool
+}
+
+// clone deep-copies the snapshot's map spines — outer maps and posting
+// maps — sharing the *Impl and *estPair values, which are immutable.
+// The clone starts unshared: the writer owns it until the next reader
+// pins it.
+func (d *derived) clone() *derived {
+	nd := &derived{
+		impls: make(map[string]*Impl, len(d.impls)),
+		byFn:  make(map[genus.Function]map[string]*Impl, len(d.byFn)),
+		byCt:  make(map[genus.ComponentType]map[string]*Impl, len(d.byCt)),
+		ests:  make(map[string]*estPair, len(d.ests)),
+	}
+	for k, v := range d.impls {
+		nd.impls[k] = v
+	}
+	for f, post := range d.byFn {
+		np := make(map[string]*Impl, len(post))
+		for k, v := range post {
+			np[k] = v
+		}
+		nd.byFn[f] = np
+	}
+	for ct, post := range d.byCt {
+		np := make(map[string]*Impl, len(post))
+		for k, v := range post {
+			np[k] = v
+		}
+		nd.byCt[ct] = np
+	}
+	for k, v := range d.ests {
+		nd.ests[k] = v
+	}
+	return nd
+}
+
+// derivedSnap pins and returns the live derived snapshot, building it
+// first when necessary. The returned snapshot is safe to read without
+// any lock: concurrent mutators clone instead of editing it. The loop
+// closes the window between a successful build and the read lock in
+// which a concurrent InvalidateCaches could nil the pointer out.
+func (db *DB) derivedSnap() (*derived, error) {
+	for {
+		db.cmu.RLock()
+		if d := db.der; d != nil {
+			d.shared.Store(true)
+			db.cmu.RUnlock()
+			return d, nil
+		}
+		db.cmu.RUnlock()
+		if err := db.ensureIndexes(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// writableDerived returns a derived snapshot the caller may mutate.
+// Must be called with cmu held exclusively; if the live snapshot has
+// been pinned by a reader it is cloned first and the clone installed.
+func (db *DB) writableDerived() *derived {
+	if db.der.shared.Load() {
+		db.der = db.der.clone()
+	}
+	return db.der
 }
 
 // estPair holds one implementation's compiled estimator expressions; a
@@ -271,10 +355,7 @@ func (db *DB) Store() *relstore.Store { return db.store }
 func (db *DB) InvalidateCaches() {
 	db.cmu.Lock()
 	defer db.cmu.Unlock()
-	db.impls = nil
-	db.byFn = nil
-	db.byCt = nil
-	db.ests = nil
+	db.der = nil
 	db.wOK = false
 }
 
@@ -283,28 +364,30 @@ func (db *DB) InvalidateCaches() {
 // are not already live.
 func (db *DB) ensureIndexes() error {
 	db.cmu.RLock()
-	built := db.impls != nil
+	built := db.der != nil
 	db.cmu.RUnlock()
 	if built {
 		return nil
 	}
 	db.cmu.Lock()
 	defer db.cmu.Unlock()
-	if db.impls != nil {
+	if db.der != nil {
 		return nil
 	}
-	impls := make(map[string]*Impl)
-	byFn := make(map[genus.Function]map[string]*Impl)
-	byCt := make(map[genus.ComponentType]map[string]*Impl)
+	d := &derived{
+		impls: make(map[string]*Impl),
+		byFn:  make(map[genus.Function]map[string]*Impl),
+		byCt:  make(map[genus.ComponentType]map[string]*Impl),
+		ests:  make(map[string]*estPair),
+	}
 	err := db.store.Scan(TableImplementations, nil, func(r relstore.Row) bool {
 		im := rowImpl(r)
-		indexImpl(impls, byFn, byCt, &im)
+		indexImpl(d.impls, d.byFn, d.byCt, &im)
 		return true
 	})
 	if err != nil {
 		return err
 	}
-	ests := make(map[string]*estPair)
 	var estErr error
 	err = db.store.Scan(TableEstimators, nil, func(r relstore.Row) bool {
 		impl, attr := asString(r["impl"]), asString(r["attr"])
@@ -313,7 +396,7 @@ func (db *DB) ensureIndexes() error {
 			estErr = fmt.Errorf("icdb: estimator %s(%s): %w", attr, impl, perr)
 			return false
 		}
-		setEstimator(ests, impl, attr, e)
+		setEstimator(d.ests, impl, attr, e)
 		return true
 	})
 	if err != nil {
@@ -322,23 +405,26 @@ func (db *DB) ensureIndexes() error {
 	if estErr != nil {
 		return estErr
 	}
-	db.impls, db.byFn, db.byCt, db.ests = impls, byFn, byCt, ests
+	db.der = d
 	return nil
 }
 
 // setEstimator files a compiled estimator expression under (impl, attr).
+// The existing pair, if any, is replaced rather than mutated: *estPair
+// values may be shared with pinned derived snapshots whose readers are
+// mid-stream.
 func setEstimator(ests map[string]*estPair, impl, attr string, e iif.Expr) {
-	p := ests[impl]
-	if p == nil {
-		p = &estPair{}
-		ests[impl] = p
+	np := estPair{}
+	if p := ests[impl]; p != nil {
+		np = *p
 	}
 	switch attr {
 	case "area":
-		p.area = e
+		np.area = e
 	case "delay":
-		p.delay = e
+		np.delay = e
 	}
+	ests[impl] = &np
 }
 
 // noteEstimator records a freshly registered estimator in the live cache
@@ -347,10 +433,10 @@ func setEstimator(ests map[string]*estPair, impl, attr string, e iif.Expr) {
 func (db *DB) noteEstimator(impl, attr string, e iif.Expr) {
 	db.cmu.Lock()
 	defer db.cmu.Unlock()
-	if db.ests == nil {
+	if db.der == nil {
 		return
 	}
-	setEstimator(db.ests, impl, attr, e)
+	setEstimator(db.writableDerived().ests, impl, attr, e)
 }
 
 // indexImpl files im under its name, functions, and component type,
@@ -394,35 +480,17 @@ func unindexImpl(impls map[string]*Impl, byFn map[genus.Function]map[string]*Imp
 	}
 }
 
-// withIndexes runs collect under the read lock with the derived indexes
-// guaranteed live, (re)building them first when necessary. The loop
-// closes the window between a successful build and the read lock in
-// which a concurrent InvalidateCaches could nil the maps out.
-func (db *DB) withIndexes(collect func()) error {
-	for {
-		db.cmu.RLock()
-		if db.impls != nil {
-			collect()
-			db.cmu.RUnlock()
-			return nil
-		}
-		db.cmu.RUnlock()
-		if err := db.ensureIndexes(); err != nil {
-			return err
-		}
-	}
-}
-
 // noteImpl records a freshly decoded or registered implementation in the
 // live caches (a no-op while they are unbuilt — the next ensureIndexes
 // picks the row up from the store).
 func (db *DB) noteImpl(im Impl) {
 	db.cmu.Lock()
 	defer db.cmu.Unlock()
-	if db.impls == nil {
+	if db.der == nil {
 		return
 	}
-	indexImpl(db.impls, db.byFn, db.byCt, &im)
+	d := db.writableDerived()
+	indexImpl(d.impls, d.byFn, d.byCt, &im)
 }
 
 // RegisterImpl validates and upserts an implementation row. The IIF
@@ -574,7 +642,10 @@ func asFloat(v any) float64 {
 // keyed Get against the store (never a scan).
 func (db *DB) ImplByName(name string) (Impl, error) {
 	db.cmu.RLock()
-	p := db.impls[name]
+	var p *Impl
+	if db.der != nil {
+		p = db.der.impls[name]
+	}
 	db.cmu.RUnlock()
 	if p != nil {
 		return p.Clone(), nil

@@ -1,0 +1,69 @@
+package icdb
+
+// Pins for the float64 instantiation of the shared evaluator
+// (iif.EvalExpr via attrEnv): the wrapper must keep every behavior
+// evalAttr had before the unification — float division, math.Mod/Pow,
+// always-on short-circuiting, and the constraint-flavored diagnostics.
+
+import (
+	"strings"
+	"testing"
+
+	"icdb/internal/iif"
+)
+
+func evalAttrSrc(t *testing.T, src string, a Attrs) (float64, error) {
+	t.Helper()
+	e, err := iif.ParseExpr(src)
+	if err != nil {
+		t.Fatalf("ParseExpr(%q): %v", src, err)
+	}
+	return evalAttr(e, a)
+}
+
+func TestEvalAttrPinnedFloatSemantics(t *testing.T) {
+	a := Attrs{"area": 10.5, "delay": 4, "stages": 2}
+	cases := []struct {
+		src  string
+		want float64
+	}{
+		{"7/2", 3.5},        // float division — contrast evalInt's 3
+		{"2 ** (0-1)", 0.5}, // math.Pow handles negative exponents
+		{"7%2", 1},          // math.Mod
+		{"area * 2", 21},    // attribute lookup
+		{"area*2 == 21", 1}, // comparisons yield 0/1 (integer literals only; attrs carry the fractions)
+		{"delay > 5", 0},    //
+		{"!stages", 0},      //
+		{"1 || 1/0", 1},     // short-circuit skips poisoned right side
+		{"0 && 1/0", 0},     //
+		{"area > 0 && delay > 0", 1},
+	}
+	for _, tc := range cases {
+		got, err := evalAttrSrc(t, tc.src, a)
+		if err != nil || got != tc.want {
+			t.Errorf("evalAttr(%q) = %g, %v; want %g", tc.src, got, err, tc.want)
+		}
+	}
+}
+
+func TestEvalAttrPinnedErrors(t *testing.T) {
+	a := Attrs{"area": 1}
+	cases := []struct {
+		src, want string
+	}{
+		{"1/0", "division by zero"},
+		{"1%0", "modulo by zero"},
+		{"bogus > 0", `unknown attribute "bogus"`},
+		{"area[1] > 0", `attribute "area" cannot be indexed`},
+		{"++area", "operator ++ not valid in a constraint"},
+		{"~b area", "operator ~b not valid in a constraint"},
+		{"area ~d 2", "operator ~d not valid in a constraint"},
+		{"a ~a(1/b)", "not valid in a constraint"}, // Async expression form
+	}
+	for _, tc := range cases {
+		_, err := evalAttrSrc(t, tc.src, a)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("evalAttr(%q) err = %v, want %q", tc.src, err, tc.want)
+		}
+	}
+}

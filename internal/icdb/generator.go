@@ -412,15 +412,13 @@ func (db *DB) EstimateImpl(name string, width int) (area, delay, cost float64, e
 			name, width, im.WidthMin, im.WidthMax)
 	}
 	wa, wd := db.rankWeights()
-	var ferr error
-	err = db.withIndexes(func() {
-		ev := attrEval{db: db, width: width}
-		a := make(Attrs, 8)
-		area, delay, ferr = ev.fill(&im, a)
-	})
-	if err == nil {
-		err = ferr
+	d, err := db.derivedSnap()
+	if err != nil {
+		return 0, 0, 0, err
 	}
+	ev := attrEval{ests: d.ests, width: width}
+	a := make(Attrs, 8)
+	area, delay, err = ev.fill(&im, a)
 	if err != nil {
 		return 0, 0, 0, err
 	}

@@ -2,7 +2,6 @@ package icdb
 
 import (
 	"fmt"
-	"math"
 	"slices"
 	"sort"
 	"strings"
@@ -26,6 +25,14 @@ type Constraint struct {
 	// expressions there before filtering and ranking. Negative values
 	// record an invalid requested width, rejected when the query runs.
 	atWidth int
+	// weights, when non-nil, overrides the ranking weights for the query
+	// carrying the constraint (see Weights).
+	weights *rankW
+}
+
+// rankW is one pair of ranking weights: cost = Area*area + Delay*delay.
+type rankW struct {
+	area, delay float64
 }
 
 // String returns the constraint's source form, for diagnostics.
@@ -116,6 +123,29 @@ func evalWidth(cs []Constraint) (int, error) {
 	return w, nil
 }
 
+// Weights overrides the ranking weights for the query carrying the
+// constraint: candidates are scored Area*area + Delay*delay instead of
+// using the database-wide tool parameters (see RankWeights). It filters
+// nothing. When a query carries several Weights constraints the last
+// one wins.
+func Weights(area, delay float64) Constraint {
+	return Constraint{
+		src:     fmt.Sprintf("weights area=%g delay=%g", area, delay),
+		weights: &rankW{area: area, delay: delay},
+	}
+}
+
+// queryWeights resolves the ranking weights of one query: the last
+// Weights constraint if any, otherwise the database defaults.
+func (db *DB) queryWeights(cs []Constraint) (wa, wd float64) {
+	for i := len(cs) - 1; i >= 0; i-- {
+		if w := cs[i].weights; w != nil {
+			return w.area, w.delay
+		}
+	}
+	return db.rankWeights()
+}
+
 // MaxArea keeps implementations whose per-bit area estimate is at most a.
 func MaxArea(area float64) Constraint {
 	return Constraint{
@@ -185,99 +215,50 @@ func AttrCmp(attr string, op CmpOp, v float64) (Constraint, error) {
 	return Constraint{src: fmt.Sprintf("%s %s %g", attr, op, v), pass: pass}, nil
 }
 
-// evalAttr evaluates an attribute expression with C semantics: '+' adds,
-// '*' multiplies, comparisons and logical operators yield 0/1.
-func evalAttr(e iif.Expr, a Attrs) (float64, error) {
-	switch x := e.(type) {
-	case *iif.IntLit:
-		return float64(x.V), nil
-	case *iif.Ref:
-		if len(x.Index) != 0 {
-			return 0, fmt.Errorf("%s: attribute %q cannot be indexed", x.Pos, x.Name)
-		}
-		v, ok := a[x.Name]
-		if !ok {
-			return 0, fmt.Errorf("%s: unknown attribute %q (have %v)", x.Pos, x.Name, attrNames(a))
-		}
-		return v, nil
-	case *iif.Unary:
-		v, err := evalAttr(x.X, a)
-		if err != nil {
-			return 0, err
-		}
-		switch x.Op {
-		case iif.UNeg:
-			return -v, nil
-		case iif.UNot:
-			return b2f(v == 0), nil
-		}
-		return 0, fmt.Errorf("%s: operator %s not valid in a constraint", x.Pos, x.Op)
-	case *iif.Binary:
-		l, err := evalAttr(x.X, a)
-		if err != nil {
-			return 0, err
-		}
-		// Short-circuit logical operators before evaluating the right side.
-		switch x.Op {
-		case iif.BLAnd:
-			if l == 0 {
-				return 0, nil
-			}
-		case iif.BLOr:
-			if l != 0 {
-				return 1, nil
-			}
-		}
-		r, err := evalAttr(x.Y, a)
-		if err != nil {
-			return 0, err
-		}
-		switch x.Op {
-		case iif.BOr:
-			return l + r, nil
-		case iif.BAnd:
-			return l * r, nil
-		case iif.BMinus:
-			return l - r, nil
-		case iif.BDiv:
-			if r == 0 {
-				return 0, fmt.Errorf("%s: division by zero", x.Pos)
-			}
-			return l / r, nil
-		case iif.BMod:
-			if r == 0 {
-				return 0, fmt.Errorf("%s: modulo by zero", x.Pos)
-			}
-			return math.Mod(l, r), nil
-		case iif.BPow:
-			return math.Pow(l, r), nil
-		case iif.BEq:
-			return b2f(l == r), nil
-		case iif.BNeq:
-			return b2f(l != r), nil
-		case iif.BLt:
-			return b2f(l < r), nil
-		case iif.BGt:
-			return b2f(l > r), nil
-		case iif.BLeq:
-			return b2f(l <= r), nil
-		case iif.BGeq:
-			return b2f(l >= r), nil
-		case iif.BLAnd:
-			return b2f(r != 0), nil
-		case iif.BLOr:
-			return b2f(r != 0), nil
-		}
-		return 0, fmt.Errorf("%s: operator %s not valid in a constraint", x.Pos, x.Op)
+// attrEnv adapts an Attrs map to iif.EvalEnv[float64], binding the
+// generic evaluation core (iif.EvalExpr) to constraint semantics: names
+// resolve to attribute values, nothing mutates, and hardware operators
+// are "not valid in a constraint". Maps are pointer-shaped, so the
+// attrEnv(a) conversion into the interface allocates nothing — which
+// keeps evalAttr on the O(1)-allocations-per-row streaming path
+// (attrEval.evalAccept) it sits under.
+type attrEnv Attrs
+
+func (a attrEnv) Lookup(r *iif.Ref) (float64, error) {
+	if len(r.Index) != 0 {
+		return 0, fmt.Errorf("%s: attribute %q cannot be indexed", r.Pos, r.Name)
 	}
-	return 0, fmt.Errorf("expression form %T not valid in a constraint", e)
+	v, ok := a[r.Name]
+	if !ok {
+		return 0, fmt.Errorf("%s: unknown attribute %q (have %v)", r.Pos, r.Name, attrNames(Attrs(a)))
+	}
+	return v, nil
 }
 
-func b2f(b bool) float64 {
-	if b {
-		return 1
-	}
-	return 0
+func (a attrEnv) Mutate(pos iif.Pos, op iif.UnaryOp, _ iif.Expr) (float64, error) {
+	return 0, a.BadUnary(pos, op)
+}
+
+func (a attrEnv) BadUnary(pos iif.Pos, op iif.UnaryOp) error {
+	return fmt.Errorf("%s: operator %s not valid in a constraint", pos, op)
+}
+
+func (a attrEnv) BadBinary(pos iif.Pos, op iif.BinaryOp) error {
+	return fmt.Errorf("%s: operator %s not valid in a constraint", pos, op)
+}
+
+func (a attrEnv) BadExpr(e iif.Expr) error {
+	return fmt.Errorf("expression form %T not valid in a constraint", e)
+}
+
+func (a attrEnv) ShortCircuit() bool { return true }
+
+// evalAttr evaluates an attribute expression with C semantics over
+// float64: '+' adds, '*' multiplies, comparisons and logical operators
+// yield 0/1. Division, % (math.Mod), and ** (math.Pow) follow the float
+// domain of iif.EvalExpr — contrast the expander's int evaluation.
+func evalAttr(e iif.Expr, a Attrs) (float64, error) {
+	return iif.EvalExpr[float64](e, attrEnv(a))
 }
 
 func attrNames(a Attrs) []string {
@@ -363,6 +344,13 @@ func (o Order) rank(im *Impl, area, delay, cost float64) float64 {
 	return v
 }
 
+// RankWeights returns the database-default ranking weights: the tool
+// parameters area_weight and delay_weight of tool "icdb", each
+// defaulting to 1 when unset. Queries score candidates
+// Area*area + Delay*delay with these weights unless a Weights
+// constraint overrides them.
+func (db *DB) RankWeights() (area, delay float64) { return db.rankWeights() }
+
 // rankWeights reads the ranking weights from the tool-parameters
 // relation. They are cached on the DB and refreshed after SetToolParam,
 // so a query pays for at most one tool-parameter read, not one per
@@ -422,8 +410,8 @@ func (db *DB) QueryByFunctionsTopK(fns []genus.Function, k int, cs ...Constraint
 // bounded to the best k (k <= 0 means unbounded). It is the engine entry
 // point for CQL "find … order by …" commands.
 func (db *DB) QueryByFunctionsOrdered(fns []genus.Function, order Order, k int, cs ...Constraint) ([]Candidate, error) {
-	return db.rankSeq(func(visit func(*Impl) bool) error {
-		return db.forEachByFunctions(fns, visit)
+	return db.rankSeq(func(d *derived, visit func(*Impl) bool) error {
+		return forEachByFunctions(d, fns, visit)
 	}, cs, k, order)
 }
 
@@ -438,8 +426,8 @@ func (db *DB) QueryByFunctionsOfTypeOrdered(fns []genus.Function, ct genus.Compo
 	if !ok {
 		return nil, fmt.Errorf("icdb: unknown component type %q", ct)
 	}
-	return db.rankSeq(func(visit func(*Impl) bool) error {
-		return db.forEachByFunctions(fns, func(im *Impl) bool {
+	return db.rankSeq(func(d *derived, visit func(*Impl) bool) error {
+		return forEachByFunctions(d, fns, func(im *Impl) bool {
 			if im.Component != nct {
 				return true
 			}
@@ -463,8 +451,8 @@ func (db *DB) QueryByComponentTopK(ct genus.ComponentType, k int, cs ...Constrai
 // QueryByComponentOrdered is QueryByComponentTopK under an explicit sort
 // key (see Order).
 func (db *DB) QueryByComponentOrdered(ct genus.ComponentType, order Order, k int, cs ...Constraint) ([]Candidate, error) {
-	return db.rankSeq(func(visit func(*Impl) bool) error {
-		return db.forEachByComponent(ct, visit)
+	return db.rankSeq(func(d *derived, visit func(*Impl) bool) error {
+		return forEachByComponent(d, ct, visit)
 	}, cs, k, order)
 }
 
@@ -473,25 +461,29 @@ func (db *DB) QueryByComponentOrdered(ct genus.ComponentType, order Order, k int
 // unbounded). It serves CQL "find component" commands that select by
 // attribute alone, with no function or component-type filter.
 func (db *DB) QueryOrdered(order Order, k int, cs ...Constraint) ([]Candidate, error) {
-	return db.rankSeq(db.forEachImpl, cs, k, order)
+	return db.rankSeq(forEachImpl, cs, k, order)
 }
 
 // ---- streaming core ----
 //
 // Every query path is built on an implSeq: a function streaming cached
-// *Impl values to a visitor under the index read lock. Cached *Impl
-// values are never mutated in place (re-registration swaps pointers), so
-// consumers may use one after the lock is released — but must copy
-// (Clone) anything they hand to callers.
+// *Impl values from one pinned derived snapshot to a visitor. The
+// snapshot is copy-on-write (see derivedSnap), so the stream holds no
+// lock: visitors may run arbitrarily long and may call back into the
+// DB — including registering implementations, which land in a fresh
+// snapshot without disturbing the one mid-stream. Cached *Impl values
+// are never mutated in place (re-registration swaps pointers), so
+// consumers may retain one past the stream — but must copy (Clone)
+// anything they hand to callers.
 
-// implSeq streams implementations to visit, stopping early when visit
-// returns false.
-type implSeq func(visit func(*Impl) bool) error
+// implSeq streams implementations out of snapshot d to visit, stopping
+// early when visit returns false.
+type implSeq func(d *derived, visit func(*Impl) bool) error
 
 // forEachByFunctions intersects the function inverted index's posting
 // lists smallest-first: it iterates the rarest function's postings and
 // yields implementations present in all others.
-func (db *DB) forEachByFunctions(fns []genus.Function, visit func(*Impl) bool) error {
+func forEachByFunctions(d *derived, fns []genus.Function, visit func(*Impl) bool) error {
 	if len(fns) == 0 {
 		return fmt.Errorf("icdb: query with no functions")
 	}
@@ -503,67 +495,63 @@ func (db *DB) forEachByFunctions(fns []genus.Function, visit func(*Impl) bool) e
 		}
 		want = append(want, nf)
 	}
-	return db.withIndexes(func() {
-		posts := make([]map[string]*Impl, len(want))
-		smallest := 0
-		for i, f := range want {
-			posts[i] = db.byFn[f]
-			if len(posts[i]) < len(posts[smallest]) {
-				smallest = i
+	posts := make([]map[string]*Impl, len(want))
+	smallest := 0
+	for i, f := range want {
+		posts[i] = d.byFn[f]
+		if len(posts[i]) < len(posts[smallest]) {
+			smallest = i
+		}
+	}
+outer:
+	for name, im := range posts[smallest] {
+		for i, post := range posts {
+			if i == smallest {
+				continue
+			}
+			if _, ok := post[name]; !ok {
+				continue outer
 			}
 		}
-	outer:
-		for name, im := range posts[smallest] {
-			for i, post := range posts {
-				if i == smallest {
-					continue
-				}
-				if _, ok := post[name]; !ok {
-					continue outer
-				}
-			}
-			if !visit(im) {
-				return
-			}
+		if !visit(im) {
+			return nil
 		}
-	})
+	}
+	return nil
 }
 
 // forEachByComponent streams one component type's posting map.
-func (db *DB) forEachByComponent(ct genus.ComponentType, visit func(*Impl) bool) error {
+func forEachByComponent(d *derived, ct genus.ComponentType, visit func(*Impl) bool) error {
 	nct, ok := genus.NormalizeComponentType(string(ct))
 	if !ok {
 		return fmt.Errorf("icdb: unknown component type %q", ct)
 	}
-	return db.withIndexes(func() {
-		for _, im := range db.byCt[nct] {
-			if !visit(im) {
-				return
-			}
+	for _, im := range d.byCt[nct] {
+		if !visit(im) {
+			return nil
 		}
-	})
+	}
+	return nil
 }
 
 // forEachImpl streams the whole decoded-implementation cache.
-func (db *DB) forEachImpl(visit func(*Impl) bool) error {
-	return db.withIndexes(func() {
-		for _, im := range db.impls {
-			if !visit(im) {
-				return
-			}
+func forEachImpl(d *derived, visit func(*Impl) bool) error {
+	for _, im := range d.impls {
+		if !visit(im) {
+			return nil
 		}
-	})
+	}
+	return nil
 }
 
 // attrEval is the attribute-evaluation context of one streamed query: a
 // zero width is the scalar engine (attributes read straight off the
 // implementation), a positive width evaluates estimator expressions
-// there. Its methods read db.ests and therefore must run with the
-// derived indexes live — in practice, inside the visitor of an implSeq,
-// which streams under the index read lock (EstimateImpl wraps its own
-// withIndexes for the public point lookup).
+// there. It reads the compiled estimators of the same pinned derived
+// snapshot the query streams from, so one query sees one consistent
+// (implementation, estimator) pairing end to end.
 type attrEval struct {
-	db    *DB
+	ests  map[string]*estPair
 	width int
 }
 
@@ -580,7 +568,7 @@ func (ev attrEval) fill(im *Impl, a Attrs) (area, delay float64, err error) {
 		return area, delay, nil
 	}
 	a["width"] = float64(ev.width)
-	if est := ev.db.ests[im.Name]; est != nil {
+	if est := ev.ests[im.Name]; est != nil {
 		if est.area != nil {
 			if area, err = evalAttr(est.area, a); err != nil {
 				return 0, 0, fmt.Errorf("icdb: estimator area(%s): %w", im.Name, err)
@@ -638,13 +626,17 @@ func (db *DB) rankSeq(seq implSeq, cs []Constraint, k int, order Order) ([]Candi
 	if err != nil {
 		return nil, err
 	}
-	wa, wd := db.rankWeights() // before the stream: rankWeights takes the cache lock itself
-	ev := attrEval{db: db, width: width}
+	wa, wd := db.queryWeights(cs)
+	d, err := db.derivedSnap()
+	if err != nil {
+		return nil, err
+	}
+	ev := attrEval{ests: d.ests, width: width}
 	var kept []heapItem
 	var attrs Attrs
 	var cerr error
 	h := candHeap{limit: k}
-	err = seq(func(im *Impl) bool {
+	err = seq(d, func(im *Impl) bool {
 		area, delay, ok, err := ev.evalAccept(cs, im, &attrs)
 		if err != nil {
 			cerr = err
@@ -688,11 +680,15 @@ func (db *DB) scanSeq(seq implSeq, cs []Constraint, visit func(Candidate) bool) 
 	if err != nil {
 		return err
 	}
-	wa, wd := db.rankWeights()
-	ev := attrEval{db: db, width: width}
+	wa, wd := db.queryWeights(cs)
+	d, err := db.derivedSnap()
+	if err != nil {
+		return err
+	}
+	ev := attrEval{ests: d.ests, width: width}
 	var attrs Attrs
 	var cerr error
-	err = seq(func(im *Impl) bool {
+	err = seq(d, func(im *Impl) bool {
 		area, delay, ok, err := ev.evalAccept(cs, im, &attrs)
 		if err != nil {
 			cerr = err
@@ -717,8 +713,11 @@ func (db *DB) scanSeq(seq implSeq, cs []Constraint, visit func(Candidate) bool) 
 //
 // The yielded Candidate's Impl shares the cache's backing slices: treat
 // it as read-only and call Impl.Clone before retaining it past the
-// visit. visit runs under the DB's index read lock, so it must not call
-// back into the DB.
+// visit. The stream runs over a pinned copy-on-write snapshot and holds
+// no lock, so visit MAY take arbitrarily long and MAY call back into
+// the DB — re-entrant queries and registrations proceed normally; the
+// stream keeps yielding the snapshot it pinned and concurrent writers
+// are never blocked by a slow visitor.
 func (db *DB) QueryByFunctionScan(fn genus.Function, visit func(Candidate) bool, cs ...Constraint) error {
 	return db.QueryByFunctionsScan([]genus.Function{fn}, visit, cs...)
 }
@@ -727,16 +726,16 @@ func (db *DB) QueryByFunctionScan(fn genus.Function, visit func(Candidate) bool,
 // streams the implementations executing every function in fns. See
 // QueryByFunctionScan for the visitor contract.
 func (db *DB) QueryByFunctionsScan(fns []genus.Function, visit func(Candidate) bool, cs ...Constraint) error {
-	return db.scanSeq(func(v func(*Impl) bool) error {
-		return db.forEachByFunctions(fns, v)
+	return db.scanSeq(func(d *derived, v func(*Impl) bool) error {
+		return forEachByFunctions(d, fns, v)
 	}, cs, visit)
 }
 
 // QueryByComponentScan streams the implementations of one component type.
 // See QueryByFunctionScan for the visitor contract.
 func (db *DB) QueryByComponentScan(ct genus.ComponentType, visit func(Candidate) bool, cs ...Constraint) error {
-	return db.scanSeq(func(v func(*Impl) bool) error {
-		return db.forEachByComponent(ct, v)
+	return db.scanSeq(func(d *derived, v func(*Impl) bool) error {
+		return forEachByComponent(d, ct, v)
 	}, cs, visit)
 }
 
@@ -745,7 +744,7 @@ func (db *DB) QueryByComponentScan(ct genus.ComponentType, visit func(Candidate)
 // aggregation without paying for a materialized copy. See
 // QueryByFunctionScan for the visitor contract.
 func (db *DB) QueryScan(visit func(Candidate) bool, cs ...Constraint) error {
-	return db.scanSeq(db.forEachImpl, cs, visit)
+	return db.scanSeq(forEachImpl, cs, visit)
 }
 
 // candHeap is a bounded worst-on-top heap over (rank, name): the root is

@@ -1,0 +1,163 @@
+package iif
+
+// The shared expression-evaluation core. Two consumers evaluate IIF
+// expressions with C semantics over different numeric domains: the
+// expander's #for/#if machinery computes ints and lets ++/-- mutate loop
+// variables, and the query engine's constraint/estimator evaluation
+// computes float64 over an implementation's attributes. Their shared
+// structure (literals, references, arithmetic, comparisons, logical
+// operators) lives here once, generically; everything domain-specific —
+// name resolution, mutation, which operators are in the domain, and the
+// exact error wording — stays behind the EvalEnv interface, so each
+// caller keeps its historical behavior and error classes.
+
+import "math"
+
+// Num is the numeric domain EvalExpr evaluates over. The int and float64
+// instantiations differ where C does: division truncates for ints,
+// % is the int remainder vs math.Mod, and ** rejects negative exponents
+// for ints (no integer result exists) but maps to math.Pow for floats.
+type Num interface{ ~int | ~float64 }
+
+// EvalEnv binds EvalExpr's open ends for one numeric domain T.
+type EvalEnv[T Num] interface {
+	// Lookup resolves a (possibly indexed) reference to a value.
+	Lookup(r *Ref) (T, error)
+	// Mutate applies a ++/-- operator to its operand. Environments
+	// without mutable state reject it; note the operand arrives unchecked
+	// (it need not be a *Ref), so the environment owns that diagnostic.
+	Mutate(pos Pos, op UnaryOp, operand Expr) (T, error)
+	// BadUnary and BadBinary report an operator outside the evaluation
+	// domain (hardware operators like ~b or @ in a C or constraint
+	// expression).
+	BadUnary(pos Pos, op UnaryOp) error
+	BadBinary(pos Pos, op BinaryOp) error
+	// BadExpr reports an expression form outside the domain (Async).
+	BadExpr(e Expr) error
+	// ShortCircuit reports whether && and || may skip their right
+	// operand. The expander disables this during speculative folds, where
+	// skipping the right side would let a signal reference slip through
+	// and make the same source fold or fail depending on parameter
+	// values.
+	ShortCircuit() bool
+}
+
+// EvalExpr evaluates e with C semantics over env's domain: '+' adds,
+// '*' multiplies, comparisons and logical operators yield 0/1, and
+// ++/-- are delegated to the environment.
+func EvalExpr[T Num](e Expr, env EvalEnv[T]) (T, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		return T(x.V), nil
+
+	case *Ref:
+		return env.Lookup(x)
+
+	case *Unary:
+		switch x.Op {
+		case UNeg:
+			v, err := EvalExpr(x.X, env)
+			return -v, err
+		case UNot:
+			v, err := EvalExpr(x.X, env)
+			if err != nil {
+				return 0, err
+			}
+			return b2n[T](v == 0), nil
+		case UPreInc, UPreDec, UPostInc, UPostDec:
+			return env.Mutate(x.Pos, x.Op, x.X)
+		}
+		return 0, env.BadUnary(x.Pos, x.Op)
+
+	case *Binary:
+		l, err := EvalExpr(x.X, env)
+		if err != nil {
+			return 0, err
+		}
+		// Short-circuit before touching the right side (when the
+		// environment allows it).
+		if env.ShortCircuit() {
+			switch x.Op {
+			case BLAnd:
+				if l == 0 {
+					return 0, nil
+				}
+			case BLOr:
+				if l != 0 {
+					return 1, nil
+				}
+			}
+		}
+		r, err := EvalExpr(x.Y, env)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case BOr:
+			return l + r, nil
+		case BAnd:
+			return l * r, nil
+		case BMinus:
+			return l - r, nil
+		case BDiv:
+			if r == 0 {
+				return 0, Errf(x.Pos, "division by zero")
+			}
+			return l / r, nil
+		case BMod:
+			if r == 0 {
+				return 0, Errf(x.Pos, "modulo by zero")
+			}
+			if isFloat[T]() {
+				return T(math.Mod(float64(l), float64(r))), nil
+			}
+			return T(int(l) % int(r)), nil
+		case BPow:
+			if isFloat[T]() {
+				return T(math.Pow(float64(l), float64(r))), nil
+			}
+			if r < 0 {
+				return 0, Errf(x.Pos, "negative exponent %d", int(r))
+			}
+			out := T(1)
+			for i := T(0); i < r; i++ {
+				out *= l
+			}
+			return out, nil
+		case BEq:
+			return b2n[T](l == r), nil
+		case BNeq:
+			return b2n[T](l != r), nil
+		case BLt:
+			return b2n[T](l < r), nil
+		case BGt:
+			return b2n[T](l > r), nil
+		case BLeq:
+			return b2n[T](l <= r), nil
+		case BGeq:
+			return b2n[T](l >= r), nil
+		case BLAnd:
+			// Reached short-circuited (l != 0 already known) or not; the
+			// full form is correct for both.
+			return b2n[T](l != 0 && r != 0), nil
+		case BLOr:
+			return b2n[T](l != 0 || r != 0), nil
+		}
+		return 0, env.BadBinary(x.Pos, x.Op)
+	}
+	return 0, env.BadExpr(e)
+}
+
+// isFloat discriminates the two Num domains at compile time: integer
+// division makes 1/2 vanish, float division does not. Robust against
+// named types (~int / ~float64), unlike a dynamic type switch on any(T).
+func isFloat[T Num]() bool {
+	return T(1)/T(2) != 0
+}
+
+func b2n[T Num](b bool) T {
+	if b {
+		return 1
+	}
+	return 0
+}

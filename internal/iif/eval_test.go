@@ -1,0 +1,211 @@
+package iif
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// testEnv instantiates EvalEnv[T] the way the real consumers do: a name
+// table, optional mutation, configurable short-circuiting.
+type testEnv[T Num] struct {
+	vars    map[string]T
+	mutable bool
+	sc      bool
+}
+
+func (e *testEnv[T]) Lookup(r *Ref) (T, error) {
+	if v, ok := e.vars[r.Name]; ok {
+		return v, nil
+	}
+	return 0, fmt.Errorf("unknown name %q", r.Name)
+}
+
+func (e *testEnv[T]) Mutate(pos Pos, op UnaryOp, operand Expr) (T, error) {
+	if !e.mutable {
+		return 0, Errf(pos, "mutation rejected")
+	}
+	r, ok := operand.(*Ref)
+	if !ok {
+		return 0, Errf(pos, "%s needs a variable operand", op)
+	}
+	cur, err := e.Lookup(r)
+	if err != nil {
+		return 0, err
+	}
+	delta := T(1)
+	if op == UPreDec || op == UPostDec {
+		delta = -1
+	}
+	e.vars[r.Name] = cur + delta
+	if op == UPostInc || op == UPostDec {
+		return cur, nil
+	}
+	return cur + delta, nil
+}
+
+func (e *testEnv[T]) BadUnary(pos Pos, op UnaryOp) error {
+	return Errf(pos, "bad unary %s", op)
+}
+
+func (e *testEnv[T]) BadBinary(pos Pos, op BinaryOp) error {
+	return Errf(pos, "bad binary %s", op)
+}
+
+func (e *testEnv[T]) BadExpr(x Expr) error {
+	return Errf(ExprPos(x), "bad expr %T", x)
+}
+
+func (e *testEnv[T]) ShortCircuit() bool { return e.sc }
+
+// TestEvalExprDifferential pins, expression by expression, where the two
+// numeric domains agree and where they deliberately diverge — the
+// divergences are exactly the historical behaviors of expand.evalInt
+// (C ints) and icdb.evalAttr (float64 attributes), now both served by
+// this one core.
+func TestEvalExprDifferential(t *testing.T) {
+	cases := []struct {
+		src string
+		// wantInt / wantFloat are the expected values; errInt / errFloat
+		// expect an error containing the substring instead.
+		wantInt  int
+		errInt   string
+		wantF    float64
+		errFloat string
+	}{
+		// Agreeing arithmetic.
+		{src: "1+2*3", wantInt: 7, wantF: 7},
+		{src: "10-4", wantInt: 6, wantF: 6},
+		{src: "-(3)", wantInt: -3, wantF: -3},
+		{src: "!0", wantInt: 1, wantF: 1},
+		{src: "!7", wantInt: 0, wantF: 0},
+		{src: "3 == 3", wantInt: 1, wantF: 1},
+		{src: "3 < 2", wantInt: 0, wantF: 0},
+		{src: "2 ** 10", wantInt: 1024, wantF: 1024},
+		{src: "1 && 2", wantInt: 1, wantF: 1},
+		{src: "0 || 0", wantInt: 0, wantF: 0},
+
+		// Division: C ints truncate, floats do not.
+		{src: "7/2", wantInt: 3, wantF: 3.5},
+		{src: "-7/2", wantInt: -3, wantF: -3.5},
+
+		// Modulo: Go int % vs math.Mod (same sign rules, float result).
+		{src: "7%2", wantInt: 1, wantF: 1},
+		{src: "-7%2", wantInt: -1, wantF: -1},
+
+		// Power: ints reject negative exponents (no integer result
+		// exists), floats take math.Pow's 0.5.
+		{src: "2 ** (0-1)", errInt: "negative exponent", wantF: 0.5},
+
+		// Zero divisors are errors in both domains (math.Mod/Inf would
+		// otherwise silently poison a cost estimate).
+		{src: "1/0", errInt: "division by zero", errFloat: "division by zero"},
+		{src: "1%0", errInt: "modulo by zero", errFloat: "modulo by zero"},
+
+		// Both domains short-circuit here (sc: true below), so the
+		// poisoned right side is never evaluated.
+		{src: "0 && 1/0", wantInt: 0, wantF: 0},
+		{src: "1 || 1/0", wantInt: 1, wantF: 1},
+
+		// Name resolution is the env's.
+		{src: "n + 1", wantInt: 42, wantF: 42},
+	}
+	for _, tc := range cases {
+		e, err := ParseExpr(tc.src)
+		if err != nil {
+			t.Fatalf("ParseExpr(%q): %v", tc.src, err)
+		}
+		iv, ierr := EvalExpr[int](e, &testEnv[int]{vars: map[string]int{"n": 41}, sc: true})
+		fv, ferr := EvalExpr[float64](e, &testEnv[float64]{vars: map[string]float64{"n": 41}, sc: true})
+		if tc.errInt != "" {
+			if ierr == nil || !strings.Contains(ierr.Error(), tc.errInt) {
+				t.Errorf("%q int: err = %v, want %q", tc.src, ierr, tc.errInt)
+			}
+		} else if ierr != nil || iv != tc.wantInt {
+			t.Errorf("%q int = %d, %v; want %d", tc.src, iv, ierr, tc.wantInt)
+		}
+		if tc.errFloat != "" {
+			if ferr == nil || !strings.Contains(ferr.Error(), tc.errFloat) {
+				t.Errorf("%q float: err = %v, want %q", tc.src, ferr, tc.errFloat)
+			}
+		} else if ferr != nil || fv != tc.wantF {
+			t.Errorf("%q float = %g, %v; want %g", tc.src, fv, ferr, tc.wantF)
+		}
+	}
+}
+
+// TestEvalExprShortCircuitOff pins the speculative-fold mode: with
+// short-circuiting disabled the right side of &&/|| is always evaluated,
+// so its errors surface even when the left side decides the value.
+func TestEvalExprShortCircuitOff(t *testing.T) {
+	env := &testEnv[int]{sc: false}
+	for _, src := range []string{"0 && bogus", "1 || bogus"} {
+		e, err := ParseExpr(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := EvalExpr[int](e, env); err == nil || !strings.Contains(err.Error(), "unknown name") {
+			t.Errorf("%q with short-circuit off: err = %v, want unknown name", src, err)
+		}
+	}
+	// And the logical result is still correct when the right side is fine.
+	e, _ := ParseExpr("0 && 5")
+	if v, err := EvalExpr[int](e, env); err != nil || v != 0 {
+		t.Errorf("0 && 5 = %d, %v; want 0", v, err)
+	}
+	e, _ = ParseExpr("2 || 0")
+	if v, err := EvalExpr[int](e, env); err != nil || v != 1 {
+		t.Errorf("2 || 0 = %d, %v; want 1", v, err)
+	}
+}
+
+// TestEvalExprMutation exercises the Mutate delegation: pre/post
+// increment/decrement values and the env-owned rejection.
+func TestEvalExprMutation(t *testing.T) {
+	env := &testEnv[int]{vars: map[string]int{"i": 5}, mutable: true, sc: true}
+	for _, tc := range []struct {
+		src, after string
+		want       int
+	}{
+		{"++i", "", 6},
+		{"i++", "", 7}, // yields 6, leaves 7
+		{"--i", "", 6},
+		{"i--", "", 5},
+	} {
+		e, err := ParseExpr(tc.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := EvalExpr[int](e, env); err != nil {
+			t.Fatalf("%q: %v", tc.src, err)
+		}
+		if env.vars["i"] != tc.want {
+			t.Errorf("after %q i = %d, want %d", tc.src, env.vars["i"], tc.want)
+		}
+	}
+	e, _ := ParseExpr("++i")
+	if _, err := EvalExpr[int](e, &testEnv[int]{vars: map[string]int{"i": 0}}); err == nil ||
+		!strings.Contains(err.Error(), "mutation rejected") {
+		t.Errorf("immutable env: err = %v, want mutation rejected", err)
+	}
+}
+
+// TestEvalExprBadOpDelegation checks that out-of-domain operators and
+// expression forms produce the environment's diagnostics.
+func TestEvalExprBadOpDelegation(t *testing.T) {
+	env := &testEnv[int]{sc: true}
+	for src, want := range map[string]string{
+		"~b 1":      "bad unary ~b",
+		"1 (+) 0":   "bad binary (+)",
+		"1 ~d 2":    "bad binary ~d",
+		"a ~a(1/b)": "bad expr", // Async form
+	} {
+		e, err := ParseExpr(src)
+		if err != nil {
+			t.Fatalf("ParseExpr(%q): %v", src, err)
+		}
+		if _, err := EvalExpr[int](e, env); err == nil || !strings.Contains(err.Error(), want) {
+			t.Errorf("%q: err = %v, want %q", src, err, want)
+		}
+	}
+}

@@ -40,19 +40,19 @@ func checkIndexConsistency(t *testing.T, s *Store, tableName string) {
 	t.Helper()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	tab := s.tables[tableName]
-	if len(tab.ids) != len(tab.rows) {
-		t.Fatalf("ids slice has %d entries, rows map %d", len(tab.ids), len(tab.rows))
+	d := s.tables[tableName].data
+	if len(d.ids) != len(d.rows) {
+		t.Fatalf("ids slice has %d entries, rows map %d", len(d.ids), len(d.rows))
 	}
-	for i, id := range tab.ids {
-		if i > 0 && tab.ids[i-1] >= id {
-			t.Fatalf("ids not strictly ascending at %d: %v", i, tab.ids)
+	for i, id := range d.ids {
+		if i > 0 && d.ids[i-1] >= id {
+			t.Fatalf("ids not strictly ascending at %d: %v", i, d.ids)
 		}
-		if _, ok := tab.rows[id]; !ok {
+		if _, ok := d.rows[id]; !ok {
 			t.Fatalf("ids holds dead rowid %d", id)
 		}
 	}
-	for _, ix := range tab.indexes {
+	for _, ix := range d.indexes {
 		seen := 0
 		for k, post := range ix.postings {
 			if len(post) == 0 {
@@ -62,18 +62,18 @@ func checkIndexConsistency(t *testing.T, s *Store, tableName string) {
 				if i > 0 && post[i-1] >= id {
 					t.Fatalf("index %v posting %q not ascending: %v", ix.cols, k, post)
 				}
-				r, ok := tab.rows[id]
+				r, ok := d.rows[id]
 				if !ok {
 					t.Fatalf("index %v posting %q holds dead rowid %d", ix.cols, k, id)
 				}
-				if got := tab.joinRow(ix.cols, r); got != k {
+				if got := joinRow(ix.cols, r); got != k {
 					t.Fatalf("index %v: rowid %d filed under %q but row keys to %q", ix.cols, id, k, got)
 				}
 				seen++
 			}
 		}
-		if seen != len(tab.rows) {
-			t.Fatalf("index %v covers %d rows, table has %d", ix.cols, seen, len(tab.rows))
+		if seen != len(d.rows) {
+			t.Fatalf("index %v covers %d rows, table has %d", ix.cols, seen, len(d.rows))
 		}
 	}
 }

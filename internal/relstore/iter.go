@@ -1,9 +1,6 @@
 package relstore
 
-import (
-	"fmt"
-	"iter"
-)
+import "iter"
 
 // Rows returns a cursor over the rows of tableName matching p (nil p
 // matches everything), in insertion order. Like Select and Scan it
@@ -16,23 +13,23 @@ import (
 // On error (unknown table) the sequence yields a single (nil, error)
 // pair; every successful yield carries a nil error.
 //
-// The store's read lock is held for the lifetime of the iteration: the
-// loop body must not call back into the Store (deadlock), must treat the
-// yielded Row as read-only, and must not retain it (or any contained
+// The iteration runs over a pinned copy-on-write snapshot, with no store
+// lock held across yields: the loop body may call back into the Store
+// (reads and writes both), writers make progress while the cursor is
+// mid-flight, and the cursor sees exactly the rows that were live when
+// Rows captured the snapshot. The loop body must still treat each
+// yielded Row as read-only and must not retain it (or any contained
 // reference) after the iteration advances — copy what outlives the loop.
-// Breaking out of the loop releases the lock.
 func (s *Store) Rows(tableName string, p Pred) iter.Seq2[Row, error] {
 	return func(yield func(Row, error) bool) {
-		s.mu.RLock()
-		defer s.mu.RUnlock()
-		t, ok := s.tables[tableName]
-		if !ok {
-			yield(nil, fmt.Errorf("relstore: no table %q", tableName))
+		t, d, err := s.snapshot(tableName)
+		if err != nil {
+			yield(nil, err)
 			return
 		}
-		ids, verify := t.plan(p)
+		ids, verify := t.plan(d, p)
 		for _, id := range ids {
-			r := t.rows[id]
+			r := d.rows[id]
 			if !verify || p.Match(r) {
 				if !yield(r, nil) {
 					return

@@ -59,13 +59,15 @@ func covers(eqs map[string]any, cols []string) bool {
 	return true
 }
 
-// plan returns the candidate rowids for predicate p, in insertion order,
-// and whether the caller must still verify p against each candidate. The
-// returned slice is internal state: callers iterate it under the store
-// lock and must copy it before mutating the table.
-func (t *table) plan(p Pred) (ids []int64, verify bool) {
+// plan returns the candidate rowids for predicate p against the data
+// snapshot d, in insertion order, and whether the caller must still
+// verify p against each candidate. The returned slice aliases d's
+// internal state: a reader iterating a pinned (shared) snapshot may use
+// it freely, but a writer planning against its writable data must copy
+// it before mutating the table.
+func (t *table) plan(d *tableData, p Pred) (ids []int64, verify bool) {
 	if p == nil {
-		return t.ids, false
+		return d.ids, false
 	}
 	eqs := make(map[string]any)
 	exact := eqBindings(p, eqs)
@@ -76,19 +78,19 @@ func (t *table) plan(p Pred) (ids []int64, verify bool) {
 			if !sat {
 				return nil, false
 			}
-			if id, ok := t.keyIndex[k]; ok {
+			if id, ok := d.keyIndex[k]; ok {
 				return []int64{id}, verify
 			}
 			return nil, false
 		}
 		best := -1
-		for i, ix := range t.indexes {
-			if covers(eqs, ix.cols) && (best < 0 || len(ix.cols) > len(t.indexes[best].cols)) {
+		for i, ix := range d.indexes {
+			if covers(eqs, ix.cols) && (best < 0 || len(ix.cols) > len(d.indexes[best].cols)) {
 				best = i
 			}
 		}
 		if best >= 0 {
-			ix := t.indexes[best]
+			ix := d.indexes[best]
 			verify = !exact || len(eqs) != len(ix.cols)
 			k, sat := t.joinVals(ix.cols, eqs)
 			if !sat {
@@ -97,7 +99,7 @@ func (t *table) plan(p Pred) (ids []int64, verify bool) {
 			return ix.postings[k], verify
 		}
 	}
-	return t.ids, true
+	return d.ids, true
 }
 
 // canonMatchesCol reports whether a canonicalized query value has the

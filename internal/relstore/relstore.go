@@ -26,6 +26,23 @@
 // that never scans. Scan visits rows without copying them, for read-only
 // consumers that decode rather than retain.
 //
+// # Concurrency and snapshot isolation
+//
+// All methods are safe for concurrent use. Iterating reads (Select,
+// SelectOne, Count, Scan, Rows) do not run under the store lock: each
+// pins the table's current read state — an immutable copy-on-write
+// snapshot (tableData) — under a brief read lock and then plans and
+// iterates lock-free. The first write after a snapshot is pinned clones
+// the structure and mutates the clone, so:
+//
+//   - a scan observes exactly the rows that were live when it started,
+//     however long it runs and whatever writers do meanwhile;
+//   - writers never wait for a slow scan (or a slow network client a
+//     scan is streaming to);
+//   - a Scan/Rows visitor may call back into the Store, including
+//     writes — re-entrancy cannot deadlock, because no lock is held
+//     across the callback.
+//
 // Invariants the index machinery maintains (and tests assert):
 //
 //   - every live rowid appears exactly once in the table's ordered id
@@ -50,6 +67,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // ColType is the type of a column.
@@ -123,20 +141,81 @@ type secIndex struct {
 	postings map[string][]int64
 }
 
-type table struct {
-	schema Schema
-	cols   map[string]ColType // column name -> declared type
-	rows   map[int64]Row      // rowid -> row
+// tableData is the read-path state of one table: its rows, the
+// insertion-ordered rowid slice, and every index built over them. It
+// hangs off table.data as a swappable snapshot: a reader pins the
+// current value (marking it shared) under the store's read lock and then
+// plans and iterates with no lock held, while the first write after a
+// pin clones the whole structure and mutates the clone (copy-on-write).
+// A pinned snapshot therefore never changes again — which is what lets
+// Scan/Rows visitors call back into the Store, and lets writers make
+// progress while a slow scan is mid-flight.
+type tableData struct {
+	rows map[int64]Row // rowid -> row
 	// ids holds the live rowids in ascending (= insertion) order. It is
 	// maintained incrementally: append on insert, splice on delete.
-	ids    []int64
-	nextID int64
+	ids []int64
 	// keyIndex maps primary-key string to rowid when schema.Key is set.
 	keyIndex map[string]int64
 	indexes  []*secIndex
+
+	// shared is set (under the store's read lock) when a reader pins this
+	// snapshot. Writers check it under the write lock — mutually exclusive
+	// with every setter — and clone instead of mutating in place. The flag
+	// only ever goes false -> true; a fresh clone starts unshared.
+	shared atomic.Bool
 }
 
-// Store is a set of named tables. All methods are safe for concurrent use.
+// clone deep-copies everything writers mutate in place: the ids slice
+// (spliced by Delete), the rows map, the key index, and every posting
+// list (spliced by insertSorted/removeSorted). The Row values themselves
+// are shared: a stored row is never mutated, only replaced (Upsert,
+// Update), so old snapshots keep seeing the rows they pinned.
+func (d *tableData) clone() *tableData {
+	nd := &tableData{
+		rows: make(map[int64]Row, len(d.rows)),
+		ids:  slices.Clone(d.ids),
+	}
+	for id, r := range d.rows {
+		nd.rows[id] = r
+	}
+	if d.keyIndex != nil {
+		nd.keyIndex = make(map[string]int64, len(d.keyIndex))
+		for k, v := range d.keyIndex {
+			nd.keyIndex[k] = v
+		}
+	}
+	nd.indexes = make([]*secIndex, len(d.indexes))
+	for i, ix := range d.indexes {
+		nix := &secIndex{cols: ix.cols, postings: make(map[string][]int64, len(ix.postings))}
+		for k, p := range ix.postings {
+			nix.postings[k] = slices.Clone(p)
+		}
+		nd.indexes[i] = nix
+	}
+	return nd
+}
+
+type table struct {
+	schema Schema
+	cols   map[string]ColType // column name -> declared type
+	data   *tableData         // current read snapshot; see tableData
+	nextID int64
+}
+
+// writable returns the table's data for in-place mutation, first cloning
+// it when a reader has pinned the current snapshot. The caller must hold
+// the store's write lock.
+func (t *table) writable() *tableData {
+	if t.data.shared.Load() {
+		t.data = t.data.clone()
+	}
+	return t.data
+}
+
+// Store is a set of named tables. All methods are safe for concurrent
+// use; see the package comment for the snapshot-isolation semantics of
+// the iterating reads.
 type Store struct {
 	mu     sync.RWMutex
 	tables map[string]*table
@@ -145,6 +224,23 @@ type Store struct {
 // New creates an empty store.
 func New() *Store {
 	return &Store{tables: make(map[string]*table)}
+}
+
+// snapshot pins and returns the current read snapshot of tableName. From
+// the moment the snapshot is marked shared, writers copy-on-write around
+// it, so the caller may plan and iterate over it with no lock held. The
+// returned table carries the immutable per-table state (schema, column
+// types) the planner needs.
+func (s *Store) snapshot(tableName string) (*table, *tableData, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[tableName]
+	if !ok {
+		return nil, nil, fmt.Errorf("relstore: no table %q", tableName)
+	}
+	d := t.data
+	d.shared.Store(true)
+	return t, d, nil
 }
 
 // CreateTable registers a new table. It fails if the table exists, the
@@ -175,13 +271,15 @@ func (s *Store) CreateTable(sc Schema) error {
 		}
 	}
 	t := &table{
-		schema:   sc,
-		cols:     cols,
-		rows:     make(map[int64]Row),
-		keyIndex: make(map[string]int64),
+		schema: sc,
+		cols:   cols,
+		data: &tableData{
+			rows:     make(map[int64]Row),
+			keyIndex: make(map[string]int64),
+		},
 	}
 	for _, ix := range sc.Indexes {
-		if err := t.addIndex(ix.Columns); err != nil {
+		if err := t.addIndex(t.data, ix.Columns); err != nil {
 			return err
 		}
 	}
@@ -189,9 +287,9 @@ func (s *Store) CreateTable(sc Schema) error {
 	return nil
 }
 
-// addIndex validates and attaches one secondary index (empty, the caller
-// backfills when the table already has rows).
-func (t *table) addIndex(cols []string) error {
+// addIndex validates and attaches one secondary index to d (empty, the
+// caller backfills when the table already has rows).
+func (t *table) addIndex(d *tableData, cols []string) error {
 	if len(cols) == 0 {
 		return fmt.Errorf("relstore: table %q: index over no columns", t.schema.Table)
 	}
@@ -205,12 +303,12 @@ func (t *table) addIndex(cols []string) error {
 		}
 		seen[c] = true
 	}
-	for _, ix := range t.indexes {
+	for _, ix := range d.indexes {
 		if slices.Equal(ix.cols, cols) {
 			return fmt.Errorf("relstore: table %q already has an index on %v", t.schema.Table, cols)
 		}
 	}
-	t.indexes = append(t.indexes, &secIndex{
+	d.indexes = append(d.indexes, &secIndex{
 		cols:     append([]string(nil), cols...),
 		postings: make(map[string][]int64),
 	})
@@ -227,12 +325,13 @@ func (s *Store) CreateIndex(tableName string, cols ...string) error {
 	if !ok {
 		return fmt.Errorf("relstore: no table %q", tableName)
 	}
-	if err := t.addIndex(cols); err != nil {
+	d := t.writable()
+	if err := t.addIndex(d, cols); err != nil {
 		return err
 	}
-	ix := t.indexes[len(t.indexes)-1]
-	for _, id := range t.ids {
-		k := t.joinRow(ix.cols, t.rows[id])
+	ix := d.indexes[len(d.indexes)-1]
+	for _, id := range d.ids {
+		k := joinRow(ix.cols, d.rows[id])
 		ix.postings[k] = append(ix.postings[k], id)
 	}
 	// Record the index in the schema so Save/Load round-trips rebuild it.
@@ -240,7 +339,8 @@ func (s *Store) CreateIndex(tableName string, cols ...string) error {
 	return nil
 }
 
-// DropTable removes a table and all its rows.
+// DropTable removes a table and all its rows. Scans already in flight
+// continue over their pinned snapshot.
 func (s *Store) DropTable(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -363,7 +463,7 @@ func renderKeyPart(v any) string {
 
 // joinRow builds the index-key string for cols from an already-canonical
 // stored row.
-func (t *table) joinRow(cols []string, r Row) string {
+func joinRow(cols []string, r Row) string {
 	parts := make([]string, len(cols))
 	for i, c := range cols {
 		parts[i] = renderKeyPart(r[c])
@@ -391,7 +491,7 @@ func (t *table) keyOf(r Row) string {
 	if len(t.schema.Key) == 0 {
 		return ""
 	}
-	return t.joinRow(t.schema.Key, r)
+	return joinRow(t.schema.Key, r)
 }
 
 // insertSorted splices id into ascending slice s (O(1) when id is the
@@ -414,18 +514,18 @@ func removeSorted(s []int64, id int64) []int64 {
 }
 
 // indexAdd registers (id, r) in every secondary index.
-func (t *table) indexAdd(id int64, r Row) {
-	for _, ix := range t.indexes {
-		k := t.joinRow(ix.cols, r)
+func (d *tableData) indexAdd(id int64, r Row) {
+	for _, ix := range d.indexes {
+		k := joinRow(ix.cols, r)
 		ix.postings[k] = insertSorted(ix.postings[k], id)
 	}
 }
 
 // indexRemove drops (id, r) from every secondary index, releasing empty
 // posting lists.
-func (t *table) indexRemove(id int64, r Row) {
-	for _, ix := range t.indexes {
-		k := t.joinRow(ix.cols, r)
+func (d *tableData) indexRemove(id int64, r Row) {
+	for _, ix := range d.indexes {
+		k := joinRow(ix.cols, r)
 		if p := removeSorted(ix.postings[k], id); len(p) > 0 {
 			ix.postings[k] = p
 		} else {
@@ -450,16 +550,17 @@ func (s *Store) Insert(tableName string, r Row) error {
 	// stored representation (float32 key values would otherwise index
 	// under a different string than the stored float64 reproduces).
 	cr := t.canon(r)
+	d := t.writable()
 	if len(t.schema.Key) > 0 {
 		k := t.keyOf(cr)
-		if _, conflict := t.keyIndex[k]; conflict {
+		if _, conflict := d.keyIndex[k]; conflict {
 			return fmt.Errorf("relstore: table %q duplicate key %v=%q", tableName, t.schema.Key, keyValues(k))
 		}
-		t.keyIndex[k] = t.nextID
+		d.keyIndex[k] = t.nextID
 	}
-	t.rows[t.nextID] = cr
-	t.ids = append(t.ids, t.nextID)
-	t.indexAdd(t.nextID, cr)
+	d.rows[t.nextID] = cr
+	d.ids = append(d.ids, t.nextID)
+	d.indexAdd(t.nextID, cr)
 	t.nextID++
 	return nil
 }
@@ -482,34 +583,34 @@ func (s *Store) Upsert(tableName string, r Row) error {
 	}
 	cr := t.canon(r)
 	k := t.keyOf(cr)
-	if id, exists := t.keyIndex[k]; exists {
-		t.indexRemove(id, t.rows[id])
-		t.rows[id] = cr
-		t.indexAdd(id, cr)
+	d := t.writable()
+	if id, exists := d.keyIndex[k]; exists {
+		d.indexRemove(id, d.rows[id])
+		d.rows[id] = cr
+		d.indexAdd(id, cr)
 		return nil
 	}
-	t.keyIndex[k] = t.nextID
-	t.rows[t.nextID] = cr
-	t.ids = append(t.ids, t.nextID)
-	t.indexAdd(t.nextID, cr)
+	d.keyIndex[k] = t.nextID
+	d.rows[t.nextID] = cr
+	d.ids = append(d.ids, t.nextID)
+	d.indexAdd(t.nextID, cr)
 	t.nextID++
 	return nil
 }
 
 // Select returns copies of all rows of tableName matching p (nil p matches
 // everything), in insertion order. Point and indexed predicates (see the
-// package comment) are served from the corresponding index.
+// package comment) are served from the corresponding index. Like Scan it
+// reads a pinned snapshot, not the locked store.
 func (s *Store) Select(tableName string, p Pred) ([]Row, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	t, ok := s.tables[tableName]
-	if !ok {
-		return nil, fmt.Errorf("relstore: no table %q", tableName)
+	t, d, err := s.snapshot(tableName)
+	if err != nil {
+		return nil, err
 	}
-	ids, verify := t.plan(p)
+	ids, verify := t.plan(d, p)
 	var out []Row
 	for _, id := range ids {
-		r := t.rows[id]
+		r := d.rows[id]
 		if !verify || p.Match(r) {
 			out = append(out, r.clone())
 		}
@@ -520,17 +621,15 @@ func (s *Store) Select(tableName string, p Pred) ([]Row, error) {
 // SelectOne returns the single row matching p. It fails if zero or more
 // than one row matches.
 func (s *Store) SelectOne(tableName string, p Pred) (Row, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	t, ok := s.tables[tableName]
-	if !ok {
-		return nil, fmt.Errorf("relstore: no table %q", tableName)
+	t, d, err := s.snapshot(tableName)
+	if err != nil {
+		return nil, err
 	}
-	ids, verify := t.plan(p)
+	ids, verify := t.plan(d, p)
 	var match Row
 	n := 0
 	for _, id := range ids {
-		r := t.rows[id]
+		r := d.rows[id]
 		if !verify || p.Match(r) {
 			if n == 0 {
 				match = r
@@ -551,7 +650,8 @@ func (s *Store) SelectOne(tableName string, p Pred) (Row, error) {
 // Get is the point-lookup fast path: it returns a copy of the single row
 // of a keyed table whose primary-key columns equal keyVals (in Schema.Key
 // order), without scanning. Numeric key values are matched canonically,
-// like Eq.
+// like Eq. Get reads the live store under the read lock (no snapshot is
+// pinned — a point lookup runs no user code and finishes immediately).
 func (s *Store) Get(tableName string, keyVals ...any) (Row, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -573,29 +673,33 @@ func (s *Store) Get(tableName string, keyVals ...any) (Row, error) {
 		}
 		parts[i] = renderKeyPart(cv)
 	}
-	id, ok := t.keyIndex[strings.Join(parts, "\x00")]
+	d := t.data
+	id, ok := d.keyIndex[strings.Join(parts, "\x00")]
 	if !ok {
 		return nil, fmt.Errorf("relstore: table %q: no matching row", tableName)
 	}
-	return t.rows[id].clone(), nil
+	return d.rows[id].clone(), nil
 }
 
 // Scan visits the rows of tableName matching p in insertion order,
 // stopping early when visit returns false. It is the zero-copy read path:
 // visit receives the store's internal row, so it must treat the row as
 // read-only and must not retain it (or any contained reference) after
-// returning — copy what outlives the visit. visit must not call back
-// into the Store: the table lock is held for the whole scan.
+// returning — copy what outlives the visit.
+//
+// The scan iterates a pinned copy-on-write snapshot, with no store lock
+// held across visits: visit may call back into the Store (reads and even
+// writes — re-entrancy cannot deadlock), writers make progress while a
+// scan is mid-flight, and the scan is isolated from them — it sees
+// exactly the rows that were live when it started.
 func (s *Store) Scan(tableName string, p Pred, visit func(Row) bool) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	t, ok := s.tables[tableName]
-	if !ok {
-		return fmt.Errorf("relstore: no table %q", tableName)
+	t, d, err := s.snapshot(tableName)
+	if err != nil {
+		return err
 	}
-	ids, verify := t.plan(p)
+	ids, verify := t.plan(d, p)
 	for _, id := range ids {
-		r := t.rows[id]
+		r := d.rows[id]
 		if !verify || p.Match(r) {
 			if !visit(r) {
 				return nil
@@ -617,7 +721,8 @@ func (s *Store) Update(tableName string, p Pred, fn func(Row) Row) (int, error) 
 	if !ok {
 		return 0, fmt.Errorf("relstore: no table %q", tableName)
 	}
-	ids, verify := t.plan(p)
+	d := t.writable()
+	ids, verify := t.plan(d, p)
 	// Validate every change against a scratch key index before applying
 	// anything, so a mid-scan conflict cannot leave partial updates.
 	type change struct {
@@ -626,7 +731,7 @@ func (s *Store) Update(tableName string, p Pred, fn func(Row) Row) (int, error) 
 	}
 	var changes []change
 	for _, id := range ids {
-		r := t.rows[id]
+		r := d.rows[id]
 		if verify && !p.Match(r) {
 			continue
 		}
@@ -639,14 +744,14 @@ func (s *Store) Update(tableName string, p Pred, fn func(Row) Row) (int, error) 
 	// Rebuild the key index in two phases — drop every changed row's old
 	// key, then claim the new ones — so key permutations (a<->b swaps)
 	// are legal and any genuine conflict is detected before mutation.
-	newKeys := t.keyIndex
+	newKeys := d.keyIndex
 	if len(t.schema.Key) > 0 {
-		newKeys = make(map[string]int64, len(t.keyIndex))
-		for k, v := range t.keyIndex {
+		newKeys = make(map[string]int64, len(d.keyIndex))
+		for k, v := range d.keyIndex {
 			newKeys[k] = v
 		}
 		for _, c := range changes {
-			delete(newKeys, t.keyOf(t.rows[c.id]))
+			delete(newKeys, t.keyOf(d.rows[c.id]))
 		}
 		for _, c := range changes {
 			k := t.keyOf(c.nr)
@@ -657,11 +762,11 @@ func (s *Store) Update(tableName string, p Pred, fn func(Row) Row) (int, error) 
 		}
 	}
 	for _, c := range changes {
-		t.indexRemove(c.id, t.rows[c.id])
-		t.rows[c.id] = c.nr
-		t.indexAdd(c.id, c.nr)
+		d.indexRemove(c.id, d.rows[c.id])
+		d.rows[c.id] = c.nr
+		d.indexAdd(c.id, c.nr)
 	}
-	t.keyIndex = newKeys
+	d.keyIndex = newKeys
 	return len(changes), nil
 }
 
@@ -680,28 +785,29 @@ func (s *Store) Delete(tableName string, p Pred) (int, error) {
 	if !ok {
 		return 0, fmt.Errorf("relstore: no table %q", tableName)
 	}
-	ids, verify := t.plan(p)
+	d := t.writable()
+	ids, verify := t.plan(d, p)
 	// The plan may alias internal index state; copy before mutating it.
 	candidates := append([]int64(nil), ids...)
 	removed := make(map[int64]bool)
 	for _, id := range candidates {
-		r := t.rows[id]
+		r := d.rows[id]
 		if verify && !p.Match(r) {
 			continue
 		}
-		delete(t.keyIndex, t.keyOf(r))
-		t.indexRemove(id, r)
-		delete(t.rows, id)
+		delete(d.keyIndex, t.keyOf(r))
+		d.indexRemove(id, r)
+		delete(d.rows, id)
 		removed[id] = true
 	}
 	if len(removed) > 0 {
-		live := t.ids[:0]
-		for _, id := range t.ids {
+		live := d.ids[:0]
+		for _, id := range d.ids {
 			if !removed[id] {
 				live = append(live, id)
 			}
 		}
-		t.ids = live
+		d.ids = live
 	}
 	return len(removed), nil
 }
@@ -709,19 +815,17 @@ func (s *Store) Delete(tableName string, p Pred) (int, error) {
 // Count returns the number of rows matching p. It plans and verifies like
 // Select but never copies a row.
 func (s *Store) Count(tableName string, p Pred) (int, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	t, ok := s.tables[tableName]
-	if !ok {
-		return 0, fmt.Errorf("relstore: no table %q", tableName)
+	t, d, err := s.snapshot(tableName)
+	if err != nil {
+		return 0, err
 	}
-	ids, verify := t.plan(p)
+	ids, verify := t.plan(d, p)
 	if !verify {
 		return len(ids), nil
 	}
 	n := 0
 	for _, id := range ids {
-		if p.Match(t.rows[id]) {
+		if p.Match(d.rows[id]) {
 			n++
 		}
 	}
@@ -747,9 +851,10 @@ func (s *Store) Save(path string) error {
 	defer s.mu.RUnlock()
 	out := make(map[string]persistedTable, len(s.tables))
 	for name, t := range s.tables {
+		d := t.data
 		pt := persistedTable{Schema: t.schema}
-		for _, id := range t.ids {
-			pt.Rows = append(pt.Rows, t.rows[id])
+		for _, id := range d.ids {
+			pt.Rows = append(pt.Rows, d.rows[id])
 		}
 		out[name] = pt
 	}
@@ -843,18 +948,20 @@ func loadJSON(path string, data []byte) (*Store, error) {
 
 // appendCanonical adds an already-validated, already-canonical row during
 // bulk load, maintaining every index incrementally. It is Insert minus
-// checkRow and canon.
+// checkRow and canon. Bulk loads run on a store no reader has seen, so
+// the data is never shared and writable never clones here.
 func (t *table) appendCanonical(r Row) error {
+	d := t.writable()
 	if len(t.schema.Key) > 0 {
 		k := t.keyOf(r)
-		if _, conflict := t.keyIndex[k]; conflict {
+		if _, conflict := d.keyIndex[k]; conflict {
 			return fmt.Errorf("duplicate key %v=%q", t.schema.Key, keyValues(k))
 		}
-		t.keyIndex[k] = t.nextID
+		d.keyIndex[k] = t.nextID
 	}
-	t.rows[t.nextID] = r
-	t.ids = append(t.ids, t.nextID)
-	t.indexAdd(t.nextID, r)
+	d.rows[t.nextID] = r
+	d.ids = append(d.ids, t.nextID)
+	d.indexAdd(t.nextID, r)
 	t.nextID++
 	return nil
 }

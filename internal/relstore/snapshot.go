@@ -86,7 +86,7 @@ func (s *Store) encodeSnapshot() ([]byte, error) {
 	// to keep buffer doublings to at most one for typical catalogs.
 	est := 4096
 	for _, t := range s.tables {
-		est += len(t.ids)*len(t.schema.Columns)*32 + 256
+		est += len(t.data.ids)*len(t.schema.Columns)*32 + 256
 	}
 	buf.Grow(est)
 	w := &snapWriter{buf: &buf}
@@ -126,12 +126,13 @@ func (t *table) encodeSection(w *snapWriter) error {
 			w.str(c)
 		}
 	}
-	w.u32(uint32(len(t.ids)))
+	d := t.data
+	w.u32(uint32(len(d.ids)))
 	lenAt := w.buf.Len()
 	w.u64(0) // payload length, backpatched below
 	start := w.buf.Len()
-	for _, id := range t.ids {
-		r := t.rows[id]
+	for _, id := range d.ids {
+		r := d.rows[id]
 		for _, c := range t.schema.Columns {
 			ok := true
 			switch c.Type {
@@ -306,11 +307,14 @@ func (s *Store) decodeTableSection(r *snapReader, boxes *boxCache) error {
 		return err
 	}
 	t := s.tables[sc.Table]
+	// The store is private to this decode, so t.data is never shared yet;
+	// bulk-build directly into it.
+	d := t.data
 	start := r.off
-	t.ids = make([]int64, nRows)
-	t.rows = make(map[int64]Row, nRows)
+	d.ids = make([]int64, nRows)
+	d.rows = make(map[int64]Row, nRows)
 	if len(sc.Key) > 0 {
-		t.keyIndex = make(map[string]int64, nRows)
+		d.keyIndex = make(map[string]int64, nRows)
 	}
 	// Single string key column is the dominant shape (implementations,
 	// components); its index key needs no joining, and renderKeyPart is
@@ -361,24 +365,24 @@ func (s *Store) decodeTableSection(r *snapReader, boxes *boxCache) error {
 			return fmt.Errorf("table %q row %d: %w", sc.Table, i, r.err)
 		}
 		id := int64(i)
-		t.rows[id] = row
-		t.ids[i] = id
+		d.rows[id] = row
+		d.ids[i] = id
 		if singleStrKey {
-			t.keyIndex[renderKeyPart(row[sc.Key[0]])] = id
+			d.keyIndex[renderKeyPart(row[sc.Key[0]])] = id
 		} else if len(sc.Key) > 0 {
-			t.keyIndex[t.joinRow(sc.Key, row)] = id
+			d.keyIndex[joinRow(sc.Key, row)] = id
 		}
 		// Rowids ascend with the loop, so plain appends keep every
 		// posting list sorted.
-		for _, ix := range t.indexes {
-			k := t.joinRow(ix.cols, row)
+		for _, ix := range d.indexes {
+			k := joinRow(ix.cols, row)
 			ix.postings[k] = append(ix.postings[k], id)
 		}
 	}
 	t.nextID = int64(nRows)
-	if len(sc.Key) > 0 && len(t.keyIndex) != nRows {
+	if len(sc.Key) > 0 && len(d.keyIndex) != nRows {
 		return fmt.Errorf("table %q: %d row(s) collapse onto %d primary key(s) — duplicate keys in snapshot",
-			sc.Table, nRows, len(t.keyIndex))
+			sc.Table, nRows, len(d.keyIndex))
 	}
 	if got := r.off - start; got != payload {
 		return fmt.Errorf("table %q: row payload length %d does not match declared %d", sc.Table, got, payload)

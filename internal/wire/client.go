@@ -1,0 +1,104 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+)
+
+// Client is one wire-protocol session. It is not safe for concurrent
+// use: the protocol pipelines one command at a time per connection
+// (open several clients for parallelism — each gets its own server-side
+// session anyway).
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+}
+
+// RemoteError is a command failure reported by the server (an Error
+// frame): the command was delivered and rejected, as opposed to a
+// transport failure.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return e.Msg }
+
+// Dial connects to an icdbd server and completes the handshake.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewClient(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewClient runs the client side of the handshake over an established
+// connection (for tests and custom transports); on success the client
+// owns conn.
+func NewClient(conn net.Conn) (*Client, error) {
+	c := &Client{conn: conn, br: bufio.NewReader(conn), bw: bufio.NewWriter(conn)}
+	if err := writePreamble(c.bw); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	t, payload, err := ReadFrame(c.br)
+	if err != nil {
+		return nil, fmt.Errorf("wire: handshake: %w", err)
+	}
+	switch t {
+	case FrameHello:
+		if v := doneCount(payload); v != Version {
+			return nil, fmt.Errorf("wire: server speaks protocol version %d, client %d", v, Version)
+		}
+		return c, nil
+	case FrameError:
+		return nil, &RemoteError{Msg: string(payload)}
+	}
+	return nil, fmt.Errorf("wire: handshake: unexpected %s frame", t)
+}
+
+// Exec sends one CQL command and streams the reply: onRow (if non-nil)
+// receives each output line as it arrives, and the returned count is
+// the number of rows the server sent. A *RemoteError is a server-side
+// command failure; any other error is a transport failure, after which
+// the client is unusable.
+func (c *Client) Exec(cmd string, onRow func(line string)) (rows int, err error) {
+	if err := WriteFrame(c.bw, FrameCommand, []byte(cmd)); err != nil {
+		return 0, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return 0, err
+	}
+	for {
+		t, payload, err := ReadFrame(c.br)
+		if err != nil {
+			return rows, fmt.Errorf("wire: reading reply: %w", err)
+		}
+		switch t {
+		case FrameRow:
+			rows++
+			if onRow != nil {
+				onRow(string(payload))
+			}
+		case FrameDone:
+			if n := doneCount(payload); n != rows {
+				return rows, fmt.Errorf("wire: server reports %d rows, received %d", n, rows)
+			}
+			return rows, nil
+		case FrameError:
+			return rows, &RemoteError{Msg: string(payload)}
+		default:
+			return rows, fmt.Errorf("wire: unexpected %s frame in command reply", t)
+		}
+	}
+}
+
+// Close tears the connection down.
+func (c *Client) Close() error { return c.conn.Close() }

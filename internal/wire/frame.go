@@ -1,0 +1,150 @@
+// Package wire implements the ICDB network protocol: a length-prefixed,
+// versioned binary framing over TCP that carries CQL commands to an
+// icdbd server and streams result rows back. It is the transport the
+// paper's tool/database split implies — synthesis tools talk to the
+// component database server — layered over the same cql.Env every
+// in-process front-end uses.
+//
+// The format follows the conventions of the relstore snapshot format
+// (internal/relstore/SNAPSHOT.md): an 8-byte magic plus a u32 version up
+// front, little-endian integers, and lengths always prefixing data. The
+// full protocol is specified in WIRE.md.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Magic opens every connection: the client sends it (followed by its
+// u32 protocol version) before the first frame, so a server can reject
+// a stray HTTP request or port scan after eight bytes.
+const Magic = "ICDBWIRE"
+
+// Version is the protocol version this package speaks. Servers reject
+// clients announcing any other version — they never guess (the snapshot
+// format's versioning policy).
+const Version = 1
+
+// MaxFrame bounds a frame's payload length. Commands are single lines
+// and rows are single result lines, so 1MiB is generous; the bound
+// keeps a corrupt or malicious length prefix from forcing a giant
+// allocation.
+const MaxFrame = 1 << 20
+
+// FrameType tags one frame's meaning.
+type FrameType uint8
+
+// The frame types of protocol version 1.
+const (
+	// FrameHello is the server's handshake reply: payload is the u32
+	// protocol version the server speaks.
+	FrameHello FrameType = 1
+	// FrameCommand carries one CQL command line, client to server.
+	FrameCommand FrameType = 2
+	// FrameRow carries one line of command output, server to client,
+	// without the trailing newline. Rows stream as the engine yields
+	// them — an unbounded find never materializes server-side.
+	FrameRow FrameType = 3
+	// FrameDone ends a command's reply: payload is the u32 count of Row
+	// frames sent. Every command ends with exactly one Done or Error.
+	FrameDone FrameType = 4
+	// FrameError ends a command's reply with a failure: payload is the
+	// error text. The connection stays usable for further commands
+	// unless the handshake itself failed.
+	FrameError FrameType = 5
+)
+
+func (t FrameType) String() string {
+	switch t {
+	case FrameHello:
+		return "Hello"
+	case FrameCommand:
+		return "Command"
+	case FrameRow:
+		return "Row"
+	case FrameDone:
+		return "Done"
+	case FrameError:
+		return "Error"
+	}
+	return fmt.Sprintf("FrameType(%d)", uint8(t))
+}
+
+// WriteFrame writes one frame: u32 payload length, u8 type, payload.
+func WriteFrame(w io.Writer, t FrameType, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wire: %s frame payload %d bytes exceeds limit %d", t, len(payload), MaxFrame)
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = byte(t)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame written by WriteFrame, bounding the payload
+// at MaxFrame. io.EOF is returned unwrapped when the stream ends
+// cleanly between frames (a client hanging up), io.ErrUnexpectedEOF
+// mid-frame.
+func ReadFrame(r io.Reader) (FrameType, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
+		return 0, nil, err // clean EOF between frames stays io.EOF
+	}
+	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	t := FrameType(hdr[4])
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("wire: %s frame declares %d payload bytes, limit %d", t, n, MaxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	return t, payload, nil
+}
+
+// writePreamble sends the client's connection opener: magic + version.
+func writePreamble(w io.Writer) error {
+	var buf [len(Magic) + 4]byte
+	copy(buf[:], Magic)
+	binary.LittleEndian.PutUint32(buf[len(Magic):], Version)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// readPreamble validates a client's connection opener, returning the
+// announced version.
+func readPreamble(r io.Reader) (uint32, error) {
+	var buf [len(Magic) + 4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, err
+	}
+	if string(buf[:len(Magic)]) != Magic {
+		return 0, fmt.Errorf("wire: bad magic %q (not an ICDB wire client)", buf[:len(Magic)])
+	}
+	return binary.LittleEndian.Uint32(buf[len(Magic):]), nil
+}
+
+// u32 renders a count as a Done/Hello payload.
+func u32(v uint32) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return b[:]
+}

@@ -1,0 +1,253 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+
+	"icdb/internal/cql"
+	"icdb/internal/icdb"
+)
+
+// Server serves the ICDB wire protocol: one goroutine per connection,
+// one cql.Env — and therefore one CQL session (current width, weight
+// overrides, expander reuse) — per connection. Commands on a connection
+// run sequentially; commands on different connections run concurrently
+// against the shared DB, whose snapshot-isolated reads keep a slow
+// client's streamed find from blocking anyone else's writes.
+type Server struct {
+	// DB is the shared component database; it must be non-nil.
+	DB *icdb.DB
+	// ReadFile, when non-nil, lets sessions run "expand <file>"; it
+	// receives the client-supplied path and is responsible for
+	// restricting it (cmd/icdbd confines it to a -designs directory).
+	// Nil disables expand, the safe default for a network server.
+	ReadFile func(path string) ([]byte, error)
+	// Logf, when non-nil, receives per-connection lifecycle lines.
+	Logf func(format string, args ...any)
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// Serve accepts connections on ln until Close (or a fatal listener
+// error) and blocks until every connection handler has returned. The
+// listener is owned by the server from this point: Close closes it.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("wire: server is closed")
+	}
+	s.ln = ln
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.mu.Unlock()
+
+	var err error
+	for {
+		conn, aerr := ln.Accept()
+		if aerr != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if !closed {
+				err = aerr
+			}
+			break
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			break
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Close stops accepting, closes every live connection, and waits for
+// their handlers to return. A mid-stream command on a closed connection
+// fails its socket write and unwinds through the engine's visitor
+// stop-path, leaving the store consistent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// serveConn runs one connection: handshake, then a command loop until
+// the client hangs up.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+
+	v, err := readPreamble(br)
+	if err != nil {
+		s.logf("wire: %s: handshake: %v", conn.RemoteAddr(), err)
+		return
+	}
+	if v != Version {
+		// Answer with a versioned rejection, then hang up: the client
+		// knows the handshake format even if it speaks a newer protocol.
+		WriteFrame(bw, FrameError, fmt.Appendf(nil, "unsupported protocol version %d (server speaks %d)", v, Version))
+		bw.Flush()
+		s.logf("wire: %s: rejected version %d", conn.RemoteAddr(), v)
+		return
+	}
+	if err := WriteFrame(bw, FrameHello, u32(Version)); err != nil || bw.Flush() != nil {
+		return
+	}
+	s.logf("wire: %s: session open", conn.RemoteAddr())
+
+	// One Env per connection: the session state the set command adjusts
+	// (width, weights) and the expander's template reuse are confined to
+	// this client.
+	lw := &lineWriter{w: bw}
+	env := &cql.Env{DB: s.DB, Out: lw, ReadFile: s.ReadFile}
+
+	for {
+		t, payload, err := ReadFrame(br)
+		if err != nil {
+			s.logf("wire: %s: session end: %v", conn.RemoteAddr(), err)
+			return
+		}
+		if t != FrameCommand {
+			s.logf("wire: %s: unexpected %s frame", conn.RemoteAddr(), t)
+			return
+		}
+		lw.reset()
+		execErr := env.Exec(string(payload))
+		if err := lw.finish(); err != nil {
+			// The client is gone mid-stream; nothing left to tell it.
+			s.logf("wire: %s: write: %v", conn.RemoteAddr(), err)
+			return
+		}
+		if execErr != nil {
+			if err := WriteFrame(bw, FrameError, []byte(execErr.Error())); err != nil {
+				return
+			}
+		} else {
+			if err := WriteFrame(bw, FrameDone, u32(uint32(lw.rows))); err != nil {
+				return
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			s.logf("wire: %s: write: %v", conn.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+// lineWriter adapts a frame stream to the io.Writer a cql.Env prints
+// to: every completed output line becomes one Row frame, written (and
+// flushed) as it is produced, so rows reach a streaming client while
+// the command is still running. A socket write error is returned to the
+// engine through Write, which stops a streamed find immediately.
+type lineWriter struct {
+	w    *bufio.Writer
+	buf  bytes.Buffer
+	rows int
+	err  error
+}
+
+func (lw *lineWriter) reset() {
+	lw.buf.Reset()
+	lw.rows = 0
+	lw.err = nil
+}
+
+func (lw *lineWriter) Write(p []byte) (int, error) {
+	if lw.err != nil {
+		return 0, lw.err
+	}
+	n := len(p)
+	for {
+		i := bytes.IndexByte(p, '\n')
+		if i < 0 {
+			lw.buf.Write(p)
+			return n, nil
+		}
+		lw.buf.Write(p[:i])
+		if err := lw.emit(); err != nil {
+			return 0, err
+		}
+		p = p[i+1:]
+	}
+}
+
+// emit sends the buffered line as one Row frame and flushes it out.
+func (lw *lineWriter) emit() error {
+	if err := WriteFrame(lw.w, FrameRow, lw.buf.Bytes()); err == nil {
+		lw.err = lw.w.Flush()
+	} else {
+		lw.err = err
+	}
+	lw.buf.Reset()
+	if lw.err == nil {
+		lw.rows++
+	}
+	return lw.err
+}
+
+// finish flushes a trailing unterminated line (defensive — CQL output
+// is newline-terminated) and reports any write error seen during the
+// command.
+func (lw *lineWriter) finish() error {
+	if lw.err == nil && lw.buf.Len() > 0 {
+		lw.emit()
+	}
+	return lw.err
+}
+
+// doneCount decodes a Done payload.
+func doneCount(payload []byte) int {
+	if len(payload) != 4 {
+		return -1
+	}
+	return int(binary.LittleEndian.Uint32(payload))
+}

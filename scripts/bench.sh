@@ -1,17 +1,19 @@
 #!/bin/sh
-# bench.sh — run the ICDB benchmark harness and emit the BENCH_PR5.json
+# bench.sh — run the ICDB benchmark harness and emit the BENCH_PR6.json
 # trajectory file at the repo root.
 #
 # Usage:
-#   scripts/bench.sh                    # default: 1k and 10k catalogs
+#   scripts/bench.sh                    # default: 1k and 10k catalogs, 200-client wire scenario
 #   SIZES=1000 scripts/bench.sh         # small catalog only
 #   GUARD=1 scripts/bench.sh            # fail if LoadSnapshot loses to JSON Load at 10k
+#   CONNS=0 scripts/bench.sh            # skip the concurrent wire-server scenario
 #   SIZES=1000,10000,100000 OUT=/tmp/bench.json scripts/bench.sh
 set -eu
 cd "$(dirname "$0")/.."
 SIZES="${SIZES:-1000,10000}"
-OUT="${OUT:-BENCH_PR5.json}"
+OUT="${OUT:-BENCH_PR6.json}"
 BENCHTIME="${BENCHTIME:-300ms}"
+CONNS="${CONNS:-200}"
 GUARD_FLAG=""
 [ "${GUARD:-0}" != "0" ] && GUARD_FLAG="-guard"
-exec go run ./cmd/icdbq bench -sizes "$SIZES" -out "$OUT" -benchtime "$BENCHTIME" $GUARD_FLAG
+exec go run ./cmd/icdbq bench -sizes "$SIZES" -out "$OUT" -benchtime "$BENCHTIME" -conns "$CONNS" $GUARD_FLAG
