@@ -7,7 +7,9 @@
 //
 // Usage:
 //
-//	icdbd [-addr 127.0.0.1:7390] [-db catalog] [-save] [-designs dir] [-v]
+//	icdbd [-addr 127.0.0.1:7390] [-db catalog] [-save] [-designs dir]
+//	      [-secret token] [-maxconns n] [-maxcmds n] [-maxrows n]
+//	      [-idle d] [-wtimeout d] [-handshake d] [-grace d] [-v]
 //
 // With -db the catalog is loaded from the given file (JSON or binary
 // snapshot, sniffed); without it the server starts from the builtin
@@ -15,8 +17,20 @@
 // on graceful shutdown; it requires -db. -designs names the only
 // directory "expand <file>" commands may read designs from — without
 // it, expand-from-file is disabled (the safe default for a network
-// service). SIGINT or SIGTERM shuts the server down gracefully:
-// in-flight connections are closed, then the catalog is saved.
+// service).
+//
+// -secret requires every client to present the same shared-secret
+// token in its protocol-v2 handshake (icdbq's -secret flag or the
+// ICDB_SECRET env var); it defaults to the ICDBD_SECRET environment
+// variable so the token can be kept out of process listings. The
+// -maxconns/-maxcmds/-maxrows/-idle/-wtimeout/-handshake flags install
+// the server limits documented in internal/wire (0 disables one);
+// every violation answers a typed Error frame, never a raw TCP reset,
+// and the live counters are visible to any client via "show server".
+//
+// SIGINT or SIGTERM shuts the server down gracefully: in-flight
+// commands are aborted with a decodable shutdown Error, handlers get
+// -grace to unwind, and then the catalog is saved atomically.
 package main
 
 import (
@@ -29,6 +43,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"syscall"
+	"time"
 
 	"icdb/internal/icdb"
 	"icdb/internal/relstore"
@@ -42,12 +57,25 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+func run(args []string) error { return runServer(args, nil, nil) }
+
+// runServer is run with test hooks: ready (if non-nil) receives the
+// bound listen address once the server is accepting, and closing stop
+// (if non-nil) triggers the same graceful shutdown a signal would.
+func runServer(args []string, ready func(addr string), stop <-chan struct{}) error {
 	fs := flag.NewFlagSet("icdbd", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:7390", "TCP address to listen on")
 	dbPath := fs.String("db", "", "catalog file to load (JSON or snapshot); empty starts from the builtin seed")
 	save := fs.Bool("save", false, "save the catalog back to -db (as a binary snapshot) on graceful shutdown")
 	designs := fs.String("designs", "", "directory expand commands may read design files from; empty disables expand-from-file")
+	secret := fs.String("secret", os.Getenv("ICDBD_SECRET"), "shared-secret auth token clients must present (default $ICDBD_SECRET); empty disables auth")
+	maxConns := fs.Int("maxconns", 256, "max concurrent connections; 0 = unlimited")
+	maxCmds := fs.Int("maxcmds", 0, "max commands per session; 0 = unlimited")
+	maxRows := fs.Int("maxrows", 0, "max streamed rows per session; 0 = unlimited")
+	idle := fs.Duration("idle", 10*time.Minute, "idle session timeout; 0 = none")
+	wtimeout := fs.Duration("wtimeout", 30*time.Second, "per-frame write timeout (unsticks stalled readers); 0 = none")
+	handshake := fs.Duration("handshake", 10*time.Second, "handshake deadline (rejects stalled or partial preambles); 0 = none")
+	grace := fs.Duration("grace", 5*time.Second, "shutdown grace period for in-flight sessions to unwind")
 	verbose := fs.Bool("v", false, "log per-connection lifecycle events")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,7 +108,18 @@ func run(args []string) error {
 		return err
 	}
 
-	srv := &wire.Server{DB: db}
+	srv := &wire.Server{
+		DB:     db,
+		Secret: *secret,
+		Limits: wire.Limits{
+			MaxConns:           *maxConns,
+			MaxSessionCommands: *maxCmds,
+			MaxSessionRows:     *maxRows,
+			IdleTimeout:        *idle,
+			WriteTimeout:       *wtimeout,
+			HandshakeTimeout:   *handshake,
+		},
+	}
 	if *designs != "" {
 		srv.ReadFile = designReader(*designs)
 	}
@@ -94,17 +133,26 @@ func run(args []string) error {
 	}
 	log.Printf("icdbd listening on %s", ln.Addr())
 
-	// Serve until a termination signal; Close unblocks Serve and waits
-	// for every connection handler to unwind (mid-stream commands stop
-	// at their next socket write, leaving the store consistent).
+	// Serve until a termination signal (or the test stop hook);
+	// Shutdown aborts in-flight commands with a decodable Error frame,
+	// waits up to -grace for handlers to unwind, and leaves the store
+	// consistent for the save below.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
 	select {
 	case s := <-sig:
 		log.Printf("received %v, shutting down", s)
-		srv.Close()
+		srv.Shutdown(*grace)
+		<-done
+	case <-stop:
+		log.Printf("stop requested, shutting down")
+		srv.Shutdown(*grace)
 		<-done
 	case err := <-done:
 		if err != nil {

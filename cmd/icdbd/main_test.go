@@ -1,0 +1,182 @@
+package main
+
+// Daemon lifecycle tests: graceful shutdown (by stop hook and by real
+// SIGTERM) saves an atomic snapshot and tells in-flight sessions with
+// a decodable Error frame instead of a raw TCP reset; the missing
+// -db bootstrap paths behave as documented.
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"icdb/internal/icdb"
+	"icdb/internal/relstore"
+	"icdb/internal/wire"
+)
+
+// startDaemon runs the server in-process with the stop hook wired up,
+// returning its bound address, the stop trigger, and the exit channel.
+func startDaemon(t *testing.T, args ...string) (string, chan struct{}, chan error) {
+	t.Helper()
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- runServer(append([]string{"-addr", "127.0.0.1:0"}, args...),
+			func(addr string) { ready <- addr }, stop)
+	}()
+	select {
+	case addr := <-ready:
+		return addr, stop, done
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not come up")
+	}
+	panic("unreachable")
+}
+
+// rawSession opens a bare protocol-v2 session (no auth) so the test
+// can observe individual frames.
+func rawSession(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := make([]byte, len(wire.Magic)+4)
+	copy(pre, wire.Magic)
+	binary.LittleEndian.PutUint32(pre[len(wire.Magic):], wire.Version)
+	if _, err := conn.Write(pre); err != nil {
+		t.Fatal(err)
+	}
+	if ft, _, err := wire.ReadFrame(conn); err != nil || ft != wire.FrameHello {
+		t.Fatalf("handshake: frame %v err %v", ft, err)
+	}
+	if err := wire.WriteFrame(conn, wire.FrameHello, nil); err != nil {
+		t.Fatal(err)
+	}
+	if ft, _, err := wire.ReadFrame(conn); err != nil || ft != wire.FrameDone {
+		t.Fatalf("auth ack: frame %v err %v", ft, err)
+	}
+	return conn
+}
+
+func implCount(t *testing.T, store *relstore.Store) int {
+	t.Helper()
+	db, err := icdb.Open(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	impls, err := db.Impls()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(impls)
+}
+
+// TestGracefulShutdownSavesSnapshot: the stop path bootstraps a
+// missing -db catalog, tells an idle session CodeShutdown (a decodable
+// frame, not a reset), and persists session writes atomically.
+func TestGracefulShutdownSavesSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "catalog.icdb")
+	addr, stop, done := startDaemon(t, "-db", path, "-save")
+
+	// A client write that must survive the shutdown.
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec("generate Counter size=24", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	idle := rawSession(t, addr)
+	defer idle.Close()
+
+	close(stop)
+	ft, payload, err := wire.ReadFrame(idle)
+	if err != nil || ft != wire.FrameError {
+		t.Fatalf("idle session at shutdown: frame %v err %v, want a decodable Error", ft, err)
+	}
+	if len(payload) == 0 || wire.ErrCode(payload[0]) != wire.CodeShutdown {
+		t.Fatalf("idle session Error payload %q, want code %s", payload, wire.CodeShutdown)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("daemon exit: %v", err)
+	}
+
+	saved, err := relstore.Load(path)
+	if err != nil {
+		t.Fatalf("saved catalog: %v", err)
+	}
+	seed := implCount(t, relstore.New())
+	if got := implCount(t, saved); got != seed+1 {
+		t.Fatalf("saved catalog has %d impls, want seed %d + 1 generated", got, seed)
+	}
+}
+
+// TestSIGTERMGracefulShutdown: a real SIGTERM (not the test hook)
+// drives the same graceful path and saves the catalog.
+func TestSIGTERMGracefulShutdown(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "catalog.icdb")
+	_, _, done := startDaemon(t, "-db", path, "-save")
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down on SIGTERM")
+	}
+	if _, err := relstore.Load(path); err != nil {
+		t.Fatalf("catalog not saved on SIGTERM: %v", err)
+	}
+}
+
+// TestMissingCatalogWithoutSaveErrors: pointing -db at a file that
+// does not exist without -save is a configuration mistake, not a
+// silent empty catalog.
+func TestMissingCatalogWithoutSaveErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nope.icdb")
+	err := run([]string{"-db", path})
+	if err == nil || !strings.Contains(err.Error(), "does not exist") {
+		t.Fatalf("missing catalog without -save: err = %v", err)
+	}
+}
+
+// TestSecretFromEnv: ICDBD_SECRET installs auth without putting the
+// token on the command line; wrong tokens are rejected with CodeAuth.
+func TestSecretFromEnv(t *testing.T) {
+	t.Setenv("ICDBD_SECRET", "s3cret")
+	addr, stop, done := startDaemon(t)
+	defer func() {
+		close(stop)
+		<-done
+	}()
+
+	_, err := wire.DialOptions(addr, wire.Options{Secret: "wrong"})
+	var re *wire.RemoteError
+	if !errors.As(err, &re) || re.Code != wire.CodeAuth {
+		t.Fatalf("wrong secret: err = %v, want RemoteError %s", err, wire.CodeAuth)
+	}
+	c, err := wire.DialOptions(addr, wire.Options{Secret: "s3cret"})
+	if err != nil {
+		t.Fatalf("right secret: %v", err)
+	}
+	defer c.Close()
+	if n, err := c.Exec("show impls", nil); err != nil || n == 0 {
+		t.Fatalf("authenticated exec: n=%d err=%v", n, err)
+	}
+}

@@ -67,17 +67,18 @@ type benchComparison struct {
 }
 
 type benchReport struct {
-	Tool          string                        `json:"tool"`
-	GOOS          string                        `json:"goos"`
-	GOARCH        string                        `json:"goarch"`
-	CPUs          int                           `json:"cpus"`
-	GoVersion     string                        `json:"go_version"`
-	Benchtime     string                        `json:"benchtime"`
-	Sizes         []int                         `json:"sizes"`
-	PrePRBaseline map[string]map[string]float64 `json:"pre_pr_baseline"`
-	Comparisons   []benchComparison             `json:"comparisons"`
-	Measurements  []benchMeasure                `json:"measurements"`
-	WireBench     *wireBenchResult              `json:"wire_concurrent_clients,omitempty"`
+	Tool           string                        `json:"tool"`
+	GOOS           string                        `json:"goos"`
+	GOARCH         string                        `json:"goarch"`
+	CPUs           int                           `json:"cpus"`
+	GoVersion      string                        `json:"go_version"`
+	Benchtime      string                        `json:"benchtime"`
+	Sizes          []int                         `json:"sizes"`
+	PrePRBaseline  map[string]map[string]float64 `json:"pre_pr_baseline"`
+	Comparisons    []benchComparison             `json:"comparisons"`
+	Measurements   []benchMeasure                `json:"measurements"`
+	WireBench      *wireBenchResult              `json:"wire_concurrent_clients,omitempty"`
+	WireBenchChaos *wireBenchResult              `json:"wire_concurrent_clients_chaos,omitempty"`
 }
 
 func compare(name string, size int, baseline string, now, was benchMeasure) benchComparison {
@@ -102,6 +103,7 @@ func runBench(args []string) error {
 	benchtime := fs.String("benchtime", "300ms", "per-benchmark measuring time")
 	guard := fs.Bool("guard", false, "fail unless LoadSnapshot beats JSON Load at the 10000 size")
 	conns := fs.Int("conns", 200, "concurrent clients for the wire-server scenario (0 disables it)")
+	chaos := fs.Bool("chaos", false, "also run the wire scenario with a quarter of the clients misbehaving")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -380,11 +382,30 @@ func runBench(args []string) error {
 	// find/generate/expand traffic from hundreds of sessions. Any command
 	// error fails the bench — under load the server must stay correct.
 	if *conns > 0 {
-		wb, err := runWireBench(*conns, 25, 2000)
+		wb, err := runWireBench(*conns, 25, 2000, false)
 		if err != nil {
 			return fmt.Errorf("wire bench: %w", err)
 		}
 		report.WireBench = wb
+
+		// Chaos variant: same healthy traffic shape, but every fourth
+		// connection misbehaves (cancels, stalls, garbage handshakes,
+		// quota exhaustion) against a server running tight limits. The
+		// healthy clients' p99 staying within a small factor of the
+		// clean run is the isolation claim, measured.
+		if *chaos {
+			wbc, err := runWireBench(*conns, 25, 2000, true)
+			if err != nil {
+				return fmt.Errorf("wire chaos bench: %w", err)
+			}
+			report.WireBenchChaos = wbc
+			ratio := wbc.LatencyUsP99 / wb.LatencyUsP99
+			fmt.Fprintf(os.Stderr, "chaos p99 / clean p99 = %.2fx\n", ratio)
+			if *guard && ratio > 3 {
+				return fmt.Errorf("bench guard: chaos p99 (%.0fus) is %.2fx clean p99 (%.0fus), want <= 3x",
+					wbc.LatencyUsP99, ratio, wb.LatencyUsP99)
+			}
+		}
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")

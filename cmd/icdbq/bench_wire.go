@@ -1,13 +1,21 @@
-// bench_wire.go implements the concurrent-client scenario of "icdbq
+// bench_wire.go implements the concurrent-client scenarios of "icdbq
 // bench": an in-process icdbd server (internal/wire) on a loopback
 // listener, driven by hundreds of concurrent connections issuing mixed
 // find/generate/expand traffic. It measures aggregate throughput and
 // per-command latency percentiles, and exercises the property the
 // server is built on — streamed finds iterate snapshot-isolated reads,
 // so writers on other sessions never wait on a reader.
+//
+// With -chaos a quarter of the connections turn hostile — cancelling
+// finds mid-stream, stalling until the write timeout kills them,
+// writing garbage at the handshake, and exhausting row quotas — while
+// the healthy three quarters keep measuring. The healthy percentiles
+// under chaos, reported alongside the clean run, are the number that
+// proves a misbehaving client cannot degrade everyone else.
 package main
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"os"
@@ -23,7 +31,9 @@ import (
 // wire server from memory (no filesystem in the loop).
 const benchDesign = "NAME: bench_cell; PARAMETER: size; INORDER: d, clk; OUTORDER: q; { q = d @ (~r clk); }"
 
-// wireBenchResult is the concurrent-client scenario's report entry.
+// wireBenchResult is one concurrent-client scenario's report entry.
+// In chaos mode the latency percentiles cover the healthy connections
+// only — the chaos agents' aborted commands are events, not samples.
 type wireBenchResult struct {
 	Connections  int            `json:"connections"`
 	OpsPerConn   int            `json:"ops_per_conn"`
@@ -37,14 +47,29 @@ type wireBenchResult struct {
 	LatencyUsP95 float64        `json:"latency_us_p95"`
 	LatencyUsP99 float64        `json:"latency_us_p99"`
 	LatencyUsMax float64        `json:"latency_us_max"`
+	Chaos        bool           `json:"chaos,omitempty"`
+	ChaosConns   int            `json:"chaos_conns,omitempty"`
+	ChaosEvents  map[string]int `json:"chaos_events,omitempty"`
+	ServerStats  *wire.Stats    `json:"server_stats,omitempty"`
+}
+
+// chaosLimits are the server limits the chaos scenario runs under:
+// tight enough that the hostile agents actually trip them, loose
+// enough that the healthy traffic (bounded finds) never does.
+var chaosLimits = wire.Limits{
+	MaxSessionRows:   600,
+	WriteTimeout:     250 * time.Millisecond,
+	HandshakeTimeout: 5 * time.Second,
 }
 
 // runWireBench starts a wire server over a catalogSize-implementation
 // synthetic catalog and hammers it with conns concurrent sessions, each
 // running opsPerConn commands of mixed traffic: 3/5 streamed finds, 1/5
-// generates (writes), 1/5 design expands. Any command failure fails the
-// whole scenario — under load the server must stay correct, not just up.
-func runWireBench(conns, opsPerConn, catalogSize int) (*wireBenchResult, error) {
+// generates (writes), 1/5 design expands. Any command failure on a
+// healthy connection fails the whole scenario — under load the server
+// must stay correct, not just up. With chaos, every fourth connection
+// misbehaves instead of measuring (see chaosAgent).
+func runWireBench(conns, opsPerConn, catalogSize int, chaos bool) (*wireBenchResult, error) {
 	db, err := benchgen.NewDB(catalogSize)
 	if err != nil {
 		return nil, err
@@ -52,6 +77,9 @@ func runWireBench(conns, opsPerConn, catalogSize int) (*wireBenchResult, error) 
 	srv := &wire.Server{
 		DB:       db,
 		ReadFile: func(string) ([]byte, error) { return []byte(benchDesign), nil },
+	}
+	if chaos {
+		srv.Limits = chaosLimits
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -66,16 +94,28 @@ func runWireBench(conns, opsPerConn, catalogSize int) (*wireBenchResult, error) 
 	addr := ln.Addr().String()
 
 	type connStats struct {
-		lat  []time.Duration
-		rows int
-		mix  map[string]int
-		err  error
+		lat    []time.Duration
+		rows   int
+		mix    map[string]int
+		events map[string]int
+		err    error
 	}
 	stats := make([]connStats, conns)
+	chaosConns := 0
 	var wg sync.WaitGroup
 	start := time.Now()
 	for ci := 0; ci < conns; ci++ {
 		wg.Add(1)
+		if chaos && ci%4 == 3 {
+			chaosConns++
+			go func(ci int) {
+				defer wg.Done()
+				st := &stats[ci]
+				st.events = make(map[string]int)
+				chaosAgent(addr, ci, st.events)
+			}(ci)
+			continue
+		}
 		go func(ci int) {
 			defer wg.Done()
 			st := &stats[ci]
@@ -125,6 +165,13 @@ func runWireBench(conns, opsPerConn, catalogSize int) (*wireBenchResult, error) 
 		Mix:         make(map[string]int),
 		CatalogSize: catalogSize,
 		DurationMs:  float64(elapsed.Nanoseconds()) / 1e6,
+		Chaos:       chaos,
+		ChaosConns:  chaosConns,
+	}
+	if chaos {
+		res.ChaosEvents = make(map[string]int)
+		st := srv.Stats()
+		res.ServerStats = &st
 	}
 	var all []time.Duration
 	for i := range stats {
@@ -135,6 +182,9 @@ func runWireBench(conns, opsPerConn, catalogSize int) (*wireBenchResult, error) 
 		res.Rows += stats[i].rows
 		for k, v := range stats[i].mix {
 			res.Mix[k] += v
+		}
+		for k, v := range stats[i].events {
+			res.ChaosEvents[k] += v
 		}
 	}
 	res.Ops = len(all)
@@ -148,9 +198,91 @@ func runWireBench(conns, opsPerConn, catalogSize int) (*wireBenchResult, error) 
 	res.LatencyUsP95 = pct(0.95)
 	res.LatencyUsP99 = pct(0.99)
 	res.LatencyUsMax = pct(1.0)
+	label := "wire_concurrent_clients"
+	if chaos {
+		label = "wire_concurrent_clients_chaos"
+	}
 	fmt.Fprintf(os.Stderr,
-		"wire_concurrent_clients: %d conns x %d ops in %.0fms: %.0f ops/s, p50 %.0fus p95 %.0fus p99 %.0fus\n",
-		conns, opsPerConn, res.DurationMs, res.OpsPerSec,
+		"%s: %d conns x %d ops in %.0fms: %.0f ops/s, p50 %.0fus p95 %.0fus p99 %.0fus\n",
+		label, conns, opsPerConn, res.DurationMs, res.OpsPerSec,
 		res.LatencyUsP50, res.LatencyUsP95, res.LatencyUsP99)
+	if chaos {
+		fmt.Fprintf(os.Stderr, "  chaos: %d hostile conns, events %v, server stats %+v\n",
+			chaosConns, res.ChaosEvents, *res.ServerStats)
+	}
 	return res, nil
+}
+
+// chaosAgent is one hostile connection's lifetime: a rotation of the
+// misbehaviors the server's limits exist for. Every outcome is legal —
+// a cancelled find may win or lose its race, a stalled session is
+// killed by the write timeout or survives on socket buffers — the
+// agent just keeps the pressure on and records what happened. Only the
+// healthy connections' measurements judge the server.
+func chaosAgent(addr string, ci int, events map[string]int) {
+	redial := func() *wire.Client {
+		c, err := wire.DialOptions(addr, wire.Options{
+			Retry: wire.Backoff{Attempts: 5, Base: 5 * time.Millisecond},
+		})
+		if err != nil {
+			events["redial_failed"]++
+			return nil
+		}
+		return c
+	}
+	for round := 0; round < 5; round++ {
+		switch (ci + round) % 4 {
+		case 0: // cancel a streamed find mid-flight
+			c := redial()
+			if c == nil {
+				continue
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			rows := 0
+			c.ExecContext(ctx, "find component executing ADD", func(string) {
+				rows++
+				if rows == 2 {
+					cancel()
+				}
+			})
+			cancel()
+			c.Close()
+			events["cancel"]++
+		case 1: // stall mid-stream until the write timeout reaps us
+			c := redial()
+			if c == nil {
+				continue
+			}
+			rows := 0
+			c.Exec("find component executing ADD", func(string) {
+				rows++
+				if rows == 1 {
+					time.Sleep(3 * chaosLimits.WriteTimeout)
+				}
+			})
+			c.Close()
+			events["stall"]++
+		case 2: // garbage at the handshake
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				events["redial_failed"]++
+				continue
+			}
+			conn.Write([]byte("GET / HTTP/1.1\r\n\r\n"))
+			conn.Close()
+			events["garbage"]++
+		case 3: // exhaust the session row quota with unbounded finds
+			c := redial()
+			if c == nil {
+				continue
+			}
+			for i := 0; i < 6; i++ {
+				if _, err := c.Exec("find component executing ADD", nil); err != nil {
+					events["quota"]++
+					break
+				}
+			}
+			c.Close()
+		}
+	}
 }

@@ -9,11 +9,11 @@
 //	icdbq impls
 //	icdbq query <function>... [-where <expr>]
 //	icdbq cql "<command>" | icdbq cql -i | icdbq cql -remote <addr> "<command>"
-//	icdbq connect [-addr 127.0.0.1:7390] [-c "<command>"]
+//	icdbq connect [-addr 127.0.0.1:7390] [-secret token] [-retries 3] [-c "<command>"]
 //	icdbq expand <design.iif|-> [param=value...]
 //	icdbq generate <generator|component> param=value...
 //	icdbq estimate <impl> width=<bits> [area|delay|cost]
-//	icdbq bench [-sizes 1000,10000] [-out BENCH_PR6.json] [-benchtime 300ms] [-guard] [-conns 200]
+//	icdbq bench [-sizes 1000,10000] [-out BENCH_PR7.json] [-benchtime 300ms] [-guard] [-conns 200] [-chaos]
 //
 // The usage lines above are generated from the command table in
 // usage.go and verified by TestDocCommentMatchesUsage; edit them there.

@@ -6,7 +6,7 @@ import "strings"
 // the single source of truth for the bench -out flag default and for
 // every usage string naming it; TestDocCommentMatchesUsage keeps the
 // package doc comment in sync.
-const defaultBenchOut = "BENCH_PR6.json"
+const defaultBenchOut = "BENCH_PR7.json"
 
 // command describes one icdbq subcommand. The table below is the single
 // source of truth for usage output: runtime usage errors are generated
@@ -23,11 +23,11 @@ func commands() []command {
 		{"impls", "icdbq impls"},
 		{"query", "icdbq query <function>... [-where <expr>]"},
 		{"cql", `icdbq cql "<command>" | icdbq cql -i | icdbq cql -remote <addr> "<command>"`},
-		{"connect", `icdbq connect [-addr ` + defaultAddr + `] [-c "<command>"]`},
+		{"connect", `icdbq connect [-addr ` + defaultAddr + `] [-secret token] [-retries 3] [-c "<command>"]`},
 		{"expand", "icdbq expand <design.iif|-> [param=value...]"},
 		{"generate", "icdbq generate <generator|component> param=value..."},
 		{"estimate", "icdbq estimate <impl> width=<bits> [area|delay|cost]"},
-		{"bench", "icdbq bench [-sizes 1000,10000] [-out " + defaultBenchOut + "] [-benchtime 300ms] [-guard] [-conns 200]"},
+		{"bench", "icdbq bench [-sizes 1000,10000] [-out " + defaultBenchOut + "] [-benchtime 300ms] [-guard] [-conns 200] [-chaos]"},
 	}
 }
 

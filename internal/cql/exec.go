@@ -26,7 +26,7 @@ var HelpText = fmt.Sprintf(`CQL commands:
   generate <generator|component> param=value ...
   estimate <impl> width=<bits> [%s]
   set width <bits|off> | set area_weight <w|off> | set delay_weight <w|off>
-  show session
+  show session | show server
   help
 
 Attributes: %s.
@@ -53,6 +53,11 @@ type Env struct {
 	// nil disables expand (for embedders that must not touch the
 	// filesystem); the command then fails with a positioned error.
 	ReadFile func(path string) ([]byte, error)
+	// ServerInfo, when non-nil, renders the "show server" operator view
+	// (a network server binds its counters and limits here). Nil — the
+	// local front-ends — makes the command fail with a positioned
+	// error, since there is no server to describe.
+	ServerInfo func(w io.Writer) error
 
 	// expander is created lazily and kept for the Env's lifetime, so a
 	// REPL session reuses parsed designs and expanded templates.
@@ -198,22 +203,31 @@ func (env *Env) showSession() error {
 	return nil
 }
 
-// execShow prints one of the three catalog listings in deterministic
-// order (implementations in insertion order, vocabularies in GENUS
-// order).
+// execShow prints one of the catalog listings in deterministic order
+// (implementations in insertion order, vocabularies in GENUS order).
+// Like a streamed find, every listing stops at the first sink failure
+// — the server's cancel/quota/shutdown aborts land as write errors,
+// and a dead client must not get the whole catalog rendered.
 func (env *Env) execShow(s *ShowStmt) error {
 	switch s.What.Text {
 	case "session":
 		return env.showSession()
+	case "server":
+		if env.ServerInfo == nil {
+			return errf(s.What.Col, "show server needs a network session (connect to an icdbd server)")
+		}
+		return env.ServerInfo(env.Out)
 	case "impls":
 		impls, err := env.DB.Impls()
 		if err != nil {
 			return err
 		}
 		for _, im := range impls {
-			fmt.Fprintf(env.Out, "%-12s %-18s %-12s width %d..%d area %g delay %g  %s\n",
+			if _, err := fmt.Fprintf(env.Out, "%-12s %-18s %-12s width %d..%d area %g delay %g  %s\n",
 				im.Name, im.Component, im.Style, im.WidthMin, im.WidthMax,
-				im.Area, im.Delay, genus.FunctionSetKey(im.Functions))
+				im.Area, im.Delay, genus.FunctionSetKey(im.Functions)); err != nil {
+				return err
+			}
 		}
 	case "components":
 		for _, ct := range genus.AllComponentTypes() {
@@ -221,14 +235,20 @@ func (env *Env) execShow(s *ShowStmt) error {
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(env.Out, "%-18s %s\n", ct, joinFns(fns))
+			if _, err := fmt.Fprintf(env.Out, "%-18s %s\n", ct, joinFns(fns)); err != nil {
+				return err
+			}
 		}
 	case "functions":
 		for _, fn := range genus.AllFunctions() {
+			var err error
 			if a, ok := genus.Arity(fn); ok {
-				fmt.Fprintf(env.Out, "%-10s %d in, %d out\n", fn, a.Inputs, a.Outputs)
+				_, err = fmt.Fprintf(env.Out, "%-10s %d in, %d out\n", fn, a.Inputs, a.Outputs)
 			} else {
-				fmt.Fprintf(env.Out, "%s\n", fn)
+				_, err = fmt.Fprintf(env.Out, "%s\n", fn)
+			}
+			if err != nil {
+				return err
 			}
 		}
 	case "generators":
@@ -241,9 +261,11 @@ func (env *Env) execShow(s *ShowStmt) error {
 			return nil
 		}
 		for _, g := range gens {
-			fmt.Fprintf(env.Out, "%-12s %-18s %-12s width %d..%d area= %s delay= %s  %s\n",
+			if _, err := fmt.Fprintf(env.Out, "%-12s %-18s %-12s width %d..%d area= %s delay= %s  %s\n",
 				g.Name, g.Component, g.Style, g.WidthMin, g.WidthMax,
-				g.AreaExpr, g.DelayExpr, genus.FunctionSetKey(g.Functions))
+				g.AreaExpr, g.DelayExpr, genus.FunctionSetKey(g.Functions)); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

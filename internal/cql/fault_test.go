@@ -1,0 +1,117 @@
+package cql
+
+// Sink-fault tests: the engine side of the wire server's abort path.
+// A streamed find writes rows through env.Out; when that writer fails
+// (client gone, command cancelled, quota tripped) the stream must stop
+// immediately instead of scanning the rest of the catalog for no one.
+// CI runs these with the wire torture suite as the fault+soak job.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"icdb/internal/genus"
+	"icdb/internal/icdb"
+)
+
+// bulkImpls registers n throwaway register implementations so a
+// streamed find has a long tail to (not) scan.
+func bulkImpls(t *testing.T, db *icdb.DB, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("bulk_%04d", i)
+		err := db.RegisterImpl(icdb.Impl{
+			Name:      name,
+			Component: genus.CompRegister,
+			Functions: []genus.Function{genus.FuncSTORAGE},
+			WidthMin:  1, WidthMax: 64, Stages: 1,
+			Area: float64(i%17) + 1, Delay: float64(i%11) + 1,
+			Params: []string{"size"},
+			Source: fmt.Sprintf(
+				"NAME: %s; PARAMETER: size; INORDER: d, clk; OUTORDER: q; { q = d @ (~r clk); }", name),
+		})
+		if err != nil {
+			t.Fatalf("register %s: %v", name, err)
+		}
+	}
+}
+
+// failingSink accepts `ok` writes then fails every one after, counting
+// all attempts.
+type failingSink struct {
+	ok     int
+	writes int
+	err    error
+}
+
+func (s *failingSink) Write(p []byte) (int, error) {
+	s.writes++
+	if s.writes > s.ok {
+		return 0, s.err
+	}
+	return len(p), nil
+}
+
+// TestFaultySinkStopsStreamedFind: when the Out writer starts failing
+// mid-stream, the find returns that error promptly — exactly one
+// failed attempt, not one per remaining candidate.
+func TestFaultySinkStopsStreamedFind(t *testing.T) {
+	db := openTestDB(t)
+	bulkImpls(t, db, 200)
+	sink := &failingSink{ok: 3, err: errors.New("client vanished")}
+	env := &Env{DB: db, Out: sink}
+
+	err := env.Exec("find component executing STORAGE")
+	if !errors.Is(err, sink.err) {
+		t.Fatalf("Exec: err = %v, want the sink's error", err)
+	}
+	// Each row is one Fprintf, i.e. one Write: 3 delivered rows plus
+	// the failing fourth. More means the engine kept scanning.
+	if sink.writes != sink.ok+1 {
+		t.Fatalf("sink saw %d writes, want %d (stream must stop at the first failure)",
+			sink.writes, sink.ok+1)
+	}
+}
+
+// TestFaultySinkStopsShowImpls: non-find verbs share the sink
+// discipline — a dead writer does not get the whole catalog rendered.
+func TestFaultySinkStopsShowImpls(t *testing.T) {
+	db := openTestDB(t)
+	bulkImpls(t, db, 200)
+	sink := &failingSink{ok: 1, err: errors.New("client vanished")}
+	env := &Env{DB: db, Out: sink}
+
+	if err := env.Exec("show impls"); err == nil {
+		t.Fatal("show impls ignored the sink failure")
+	}
+	if sink.writes > sink.ok+2 {
+		t.Fatalf("sink saw %d writes after failing at %d", sink.writes, sink.ok+1)
+	}
+}
+
+// TestFaultShowServerNeedsSession: "show server" is the operator's
+// window into a running icdbd; offline Envs must say so, and Envs a
+// server wires up must render its info through the normal sink.
+func TestFaultShowServerNeedsSession(t *testing.T) {
+	db := openTestDB(t)
+	env := &Env{DB: db, Out: &strings.Builder{}}
+	err := env.Exec("show server")
+	if err == nil || !strings.Contains(err.Error(), "network session") {
+		t.Fatalf("offline show server: err = %v", err)
+	}
+
+	var out strings.Builder
+	env = &Env{DB: db, Out: &out, ServerInfo: func(w io.Writer) error {
+		fmt.Fprintln(w, "sessions:     1 active")
+		return nil
+	}}
+	if err := env.Exec("show server"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "sessions:") {
+		t.Fatalf("show server output: %q", out.String())
+	}
+}

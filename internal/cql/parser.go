@@ -18,7 +18,7 @@ var (
 	clauseWords   = []string{"of", "executing", "with", "at", "order", "limit"}
 	attrWords     = append(icdb.ConstraintAttrs(), "width")
 	orderKeyWords = icdb.OrderKeys()
-	showWords     = []string{"impls", "components", "functions", "generators", "session"}
+	showWords     = []string{"impls", "components", "functions", "generators", "session", "server"}
 	// setWords are the session parameters a set command may adjust.
 	setWords = []string{"width", "area_weight", "delay_weight"}
 	// estimateWords are the attributes an estimate command may single
@@ -368,7 +368,7 @@ func (p *parser) cond(after string) (*Cond, error) {
 }
 
 // show parses "show" ("impls" | "components" | "functions" |
-// "generators").
+// "generators" | "session" | "server").
 func (p *parser) show() (Stmt, error) {
 	t := p.cur()
 	what, ok := keywordIn(t, showWords)
@@ -378,7 +378,7 @@ func (p *parser) show() (Stmt, error) {
 				Msg:  "unknown listing '" + t.Text + "'",
 				Hint: suggest(t.Text, showWords)}
 		}
-		return nil, errf(t.Col, "expected 'impls', 'components', 'functions', or 'generators' after 'show', got %s", describe(t))
+		return nil, errf(t.Col, "expected 'impls', 'components', 'functions', 'generators', 'session', or 'server' after 'show', got %s", describe(t))
 	}
 	p.advance()
 	return &ShowStmt{What: Word{Text: what, Col: t.Col}}, nil

@@ -269,7 +269,7 @@ func TestParseErrors(t *testing.T) {
 		{"find component at width 2.5", "cql: expected positive whole number of bits after 'at width', got number 2.5 at col 25"},
 		{"find component order by area at width 8", "cql: clause 'at' is out of order or duplicated (clause order: of type, executing, with, at width, order by, limit) at col 30"},
 		{"show impl", `cql: unknown listing 'impl' at col 6 (did you mean "impls"?)`},
-		{"show", "cql: expected 'impls', 'components', 'functions', or 'generators' after 'show', got end of command at col 5"},
+		{"show", "cql: expected 'impls', 'components', 'functions', 'generators', 'session', or 'server' after 'show', got end of command at col 5"},
 		{"show generatos", `cql: unknown listing 'generatos' at col 6 (did you mean "generators"?)`},
 		{"describe", "cql: expected implementation name after 'describe', got end of command at col 9"},
 		{"expand", "cql: expected design file (or '-' for stdin) after 'expand', got end of command at col 7"},

@@ -1,0 +1,282 @@
+// Package faultconn wraps a net.Conn with scripted fault injection for
+// deterministic transport-torture tests: short (split) writes, stalls,
+// connection resets, and byte corruption, each fired at an exact byte
+// offset of the read or write stream. The wire package's torture suite
+// drives an icdbd server through every mid-frame failure a hostile or
+// unlucky network can produce, without a flaky timing dependency in
+// sight — a fault at write offset 3 always lands between the same two
+// bytes of the same frame.
+//
+// Offsets are counted per direction from the start of the connection:
+// fault {Op: Write, At: 3, Kind: Chop} forces the bytes up to offset 3
+// into their own underlying Write call (over net.Pipe, a synchronous
+// transport, the peer observes exactly that split as a short read).
+// Faults are consumed in At order per direction, one-shot each.
+package faultconn
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Op selects which direction of the stream a fault applies to.
+type Op uint8
+
+// The two stream directions, counted independently.
+const (
+	// Read faults fire when the wrapped Read reaches the offset.
+	Read Op = iota
+	// Write faults fire when the wrapped Write reaches the offset.
+	Write
+)
+
+func (o Op) String() string {
+	if o == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// Kind is what happens when the stream reaches a fault's offset.
+type Kind uint8
+
+// The fault kinds.
+const (
+	// Chop splits the call at the offset: the bytes before it are
+	// delivered in their own underlying call, so a peer on a
+	// synchronous transport (net.Pipe) observes a short read exactly
+	// there. A Chop never loses data and never returns an error.
+	Chop Kind = iota
+	// Stall sleeps the fault's Delay at the offset before proceeding.
+	Stall
+	// Corrupt XOR-flips the byte at the offset (0xFF) and carries on —
+	// a single-bit-of-trust violation the framing must catch.
+	Corrupt
+	// Reset closes the underlying conn at the offset and fails the
+	// call, emulating a peer that vanished mid-frame.
+	Reset
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Chop:
+		return "chop"
+	case Stall:
+		return "stall"
+	case Corrupt:
+		return "corrupt"
+	case Reset:
+		return "reset"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Fault is one scripted event: at byte offset At of direction Op, do
+// Kind (with Delay, for stalls).
+type Fault struct {
+	Op    Op
+	At    int64
+	Kind  Kind
+	Delay time.Duration
+}
+
+// Conn wraps a net.Conn, firing the scripted faults as the byte
+// streams pass their offsets. Safe for the usual net.Conn discipline
+// (one reader, one writer, concurrent Close).
+type Conn struct {
+	net.Conn
+
+	mu     sync.Mutex
+	reads  []Fault // sorted by At, consumed front to back
+	writes []Fault
+	rdOff  int64
+	wrOff  int64
+}
+
+// errReset is returned by a Reset fault; the peer sees the close.
+type errReset struct{ op Op }
+
+func (e errReset) Error() string { return fmt.Sprintf("faultconn: injected %s reset", e.op) }
+
+// New wraps conn with the given fault script. Faults on the same
+// direction fire in offset order regardless of the order given.
+func New(conn net.Conn, faults ...Fault) *Conn {
+	c := &Conn{Conn: conn}
+	for _, f := range faults {
+		if f.Op == Read {
+			c.reads = append(c.reads, f)
+		} else {
+			c.writes = append(c.writes, f)
+		}
+	}
+	sort.SliceStable(c.reads, func(i, j int) bool { return c.reads[i].At < c.reads[j].At })
+	sort.SliceStable(c.writes, func(i, j int) bool { return c.writes[i].At < c.writes[j].At })
+	return c
+}
+
+// nextWrite pops the front write fault if the window [wrOff,
+// wrOff+n) reaches it.
+func (c *Conn) nextWrite(n int) (Fault, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.writes) == 0 || c.writes[0].At > c.wrOff+int64(n) {
+		return Fault{}, false
+	}
+	f := c.writes[0]
+	if f.At <= c.wrOff {
+		c.writes = c.writes[1:]
+	}
+	return f, true
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	total := 0
+	for {
+		f, ok := c.nextWrite(len(p))
+		if !ok {
+			if len(p) == 0 {
+				return total, nil
+			}
+			n, err := c.Conn.Write(p)
+			c.advance(Write, n)
+			return total + n, err
+		}
+		if head := int(f.At - c.offset(Write)); head > 0 {
+			// Deliver the bytes before the fault in their own call.
+			n, err := c.Conn.Write(p[:head])
+			c.advance(Write, n)
+			total += n
+			p = p[n:]
+			if err != nil {
+				return total, err
+			}
+			continue // the fault is now at the front of the stream
+		}
+		switch f.Kind {
+		case Chop:
+			// The split already happened by delivering the head alone.
+		case Stall:
+			time.Sleep(f.Delay)
+		case Corrupt:
+			if len(p) > 0 {
+				b := p[0] ^ 0xFF
+				n, err := c.Conn.Write([]byte{b})
+				c.advance(Write, n)
+				total += n
+				p = p[n:]
+				if err != nil {
+					return total, err
+				}
+			}
+		case Reset:
+			c.Conn.Close()
+			return total, errReset{Write}
+		}
+	}
+}
+
+// nextRead pops the front read fault if the stream position reached it.
+func (c *Conn) nextRead() (Fault, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.reads) == 0 {
+		return Fault{}, false
+	}
+	f := c.reads[0]
+	if f.At <= c.rdOff {
+		c.reads = c.reads[1:]
+		return f, true
+	}
+	return f, false
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	for {
+		f, due := c.nextRead()
+		if due {
+			switch f.Kind {
+			case Chop:
+				continue // a boundary, which reads produce naturally
+			case Stall:
+				time.Sleep(f.Delay)
+				continue
+			case Corrupt:
+				one := make([]byte, 1)
+				n, err := c.Conn.Read(one)
+				c.advance(Read, n)
+				if n == 1 {
+					p[0] = one[0] ^ 0xFF
+					return 1, err
+				}
+				return 0, err
+			case Reset:
+				c.Conn.Close()
+				return 0, errReset{Read}
+			}
+		}
+		// Never read past the next pending fault's offset, so the
+		// fault fires exactly there on a later call.
+		limit := len(p)
+		if head := c.headroom(Read); head > 0 && int64(limit) > head {
+			limit = int(head)
+		}
+		n, err := c.Conn.Read(p[:limit])
+		c.advance(Read, n)
+		return n, err
+	}
+}
+
+// headroom reports how many bytes may pass before the next fault of
+// the direction, or 0 when unbounded.
+func (c *Conn) headroom(op Op) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if op == Read {
+		if len(c.reads) == 0 {
+			return 0
+		}
+		return c.reads[0].At - c.rdOff
+	}
+	if len(c.writes) == 0 {
+		return 0
+	}
+	return c.writes[0].At - c.wrOff
+}
+
+// pending reports whether any fault remains for the direction.
+func (c *Conn) pending(op Op) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if op == Read {
+		return len(c.reads) > 0
+	}
+	return len(c.writes) > 0
+}
+
+// offset reports the direction's current stream position.
+func (c *Conn) offset(op Op) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if op == Read {
+		return c.rdOff
+	}
+	return c.wrOff
+}
+
+// advance moves the direction's stream position after an underlying
+// call moved n bytes.
+func (c *Conn) advance(op Op, n int) {
+	if n <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if op == Read {
+		c.rdOff += int64(n)
+	} else {
+		c.wrOff += int64(n)
+	}
+}

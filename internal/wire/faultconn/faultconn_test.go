@@ -1,0 +1,111 @@
+package faultconn
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns a faulted client end and the raw server end.
+func pipePair(faults ...Fault) (*Conn, net.Conn) {
+	client, server := net.Pipe()
+	return New(client, faults...), server
+}
+
+// readAll pulls n bytes off conn, returning each underlying Read's
+// size so tests can assert where writes were split. net.Pipe delivers
+// one writer call per Read, so chunk boundaries mirror write boundaries.
+func readChunks(t *testing.T, conn net.Conn, n int) (data []byte, chunks []int) {
+	t.Helper()
+	buf := make([]byte, n)
+	for len(data) < n {
+		m, err := conn.Read(buf)
+		if m > 0 {
+			data = append(data, buf[:m]...)
+			chunks = append(chunks, m)
+		}
+		if err != nil {
+			t.Fatalf("read after %d bytes: %v", len(data), err)
+		}
+	}
+	return data, chunks
+}
+
+func TestChopSplitsWrite(t *testing.T) {
+	fc, server := pipePair(Fault{Op: Write, At: 3, Kind: Chop})
+	defer fc.Close()
+	go func() {
+		if n, err := fc.Write([]byte("abcdefghij")); err != nil || n != 10 {
+			t.Errorf("write: n=%d err=%v", n, err)
+		}
+	}()
+	data, chunks := readChunks(t, server, 10)
+	if string(data) != "abcdefghij" {
+		t.Fatalf("data = %q", data)
+	}
+	if len(chunks) != 2 || chunks[0] != 3 || chunks[1] != 7 {
+		t.Fatalf("chunks = %v, want [3 7]", chunks)
+	}
+}
+
+func TestCorruptFlipsOneByte(t *testing.T) {
+	fc, server := pipePair(Fault{Op: Write, At: 2, Kind: Corrupt})
+	defer fc.Close()
+	go fc.Write([]byte("abcdef"))
+	data, _ := readChunks(t, server, 6)
+	want := []byte("abcdef")
+	want[2] ^= 0xFF
+	if string(data) != string(want) {
+		t.Fatalf("data = %q, want %q", data, want)
+	}
+}
+
+func TestResetMidWrite(t *testing.T) {
+	fc, server := pipePair(Fault{Op: Write, At: 4, Kind: Reset})
+	done := make(chan error, 1)
+	go func() {
+		_, err := fc.Write([]byte("abcdefghij"))
+		done <- err
+	}()
+	data, _ := readChunks(t, server, 4)
+	if string(data) != "abcd" {
+		t.Fatalf("data = %q", data)
+	}
+	if err := <-done; err == nil {
+		t.Fatal("write after reset: no error")
+	}
+	if _, err := server.Read(make([]byte, 1)); err != io.EOF {
+		t.Fatalf("peer read after reset: %v, want EOF", err)
+	}
+}
+
+func TestReadFaults(t *testing.T) {
+	client, server := net.Pipe()
+	fc := New(server,
+		Fault{Op: Read, At: 2, Kind: Chop},
+		Fault{Op: Read, At: 5, Kind: Corrupt})
+	defer fc.Close()
+	go client.Write([]byte("abcdefgh"))
+	buf := make([]byte, 8)
+	if _, err := io.ReadFull(fc, buf); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("abcdefgh")
+	want[5] ^= 0xFF
+	if string(buf) != string(want) {
+		t.Fatalf("read %q, want %q", buf, want)
+	}
+}
+
+func TestStallDelaysWrite(t *testing.T) {
+	const delay = 30 * time.Millisecond
+	fc, server := pipePair(Fault{Op: Write, At: 0, Kind: Stall, Delay: delay})
+	defer fc.Close()
+	start := time.Now()
+	go fc.Write([]byte("xy"))
+	readChunks(t, server, 2)
+	if elapsed := time.Since(start); elapsed < delay {
+		t.Fatalf("write landed after %v, want >= %v", elapsed, delay)
+	}
+}

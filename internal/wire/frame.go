@@ -22,10 +22,16 @@ import (
 // a stray HTTP request or port scan after eight bytes.
 const Magic = "ICDBWIRE"
 
-// Version is the protocol version this package speaks. Servers reject
-// clients announcing any other version — they never guess (the snapshot
-// format's versioning policy).
-const Version = 1
+// Version is the newest protocol version this package speaks. Servers
+// accept any version in [MinVersion, Version] and run the session at
+// the version the client announced; anything else is rejected — they
+// never guess (the snapshot format's versioning policy).
+const Version = 2
+
+// MinVersion is the oldest protocol version this package still serves.
+// A v1 client interoperates with a v2 server for the v1 command set:
+// no Cancel frame, no auth exchange, and plain-text Error payloads.
+const MinVersion = 1
 
 // MaxFrame bounds a frame's payload length. Commands are single lines
 // and rows are single result lines, so 1MiB is generous; the bound
@@ -36,10 +42,12 @@ const MaxFrame = 1 << 20
 // FrameType tags one frame's meaning.
 type FrameType uint8
 
-// The frame types of protocol version 1.
+// The frame types of protocol versions 1 and 2.
 const (
-	// FrameHello is the server's handshake reply: payload is the u32
-	// protocol version the server speaks.
+	// FrameHello is a handshake frame. Server to client its payload is
+	// the u32 protocol version the session will speak; in a v2
+	// handshake the client answers with its own Hello whose payload is
+	// the (possibly empty) shared-secret auth token.
 	FrameHello FrameType = 1
 	// FrameCommand carries one CQL command line, client to server.
 	FrameCommand FrameType = 2
@@ -49,11 +57,21 @@ const (
 	FrameRow FrameType = 3
 	// FrameDone ends a command's reply: payload is the u32 count of Row
 	// frames sent. Every command ends with exactly one Done or Error.
+	// In a v2 handshake an empty-count Done also acknowledges the
+	// client's auth Hello.
 	FrameDone FrameType = 4
-	// FrameError ends a command's reply with a failure: payload is the
-	// error text. The connection stays usable for further commands
-	// unless the handshake itself failed.
+	// FrameError ends a command's reply with a failure. In a v1 session
+	// (and in every pre-Hello handshake rejection, a frozen contract)
+	// the payload is the error text; in a v2 session it is a u8 ErrCode
+	// followed by the text. The connection stays usable for further
+	// commands unless the code (or a failed handshake) says otherwise.
 	FrameError FrameType = 5
+	// FrameCancel (v2+) asks the server to abort the in-flight command
+	// without dropping the connection, client to server, empty payload.
+	// The aborted command answers with Error code CodeCancelled; a
+	// Cancel that arrives when no command is in flight (the cancel-vs-
+	// Done race) is ignored.
+	FrameCancel FrameType = 6
 )
 
 func (t FrameType) String() string {
@@ -68,8 +86,62 @@ func (t FrameType) String() string {
 		return "Done"
 	case FrameError:
 		return "Error"
+	case FrameCancel:
+		return "Cancel"
 	}
 	return fmt.Sprintf("FrameType(%d)", uint8(t))
+}
+
+// ErrCode classifies a v2 Error frame so clients can react without
+// parsing text: retry policy (RemoteErrors are never retried, but a
+// caller may treat CodeQuota rejections specially), cancel
+// acknowledgement, and clean-shutdown detection all key off it.
+type ErrCode uint8
+
+// The error codes of protocol version 2. Codes marked "session ends"
+// are followed by the server closing the connection cleanly; the rest
+// leave the session usable.
+const (
+	// CodeGeneric is a command failure (parse error, unknown impl, ...);
+	// the session survives.
+	CodeGeneric ErrCode = 0
+	// CodeAuth rejects a session whose Hello auth token did not match
+	// the server's shared secret. Session ends.
+	CodeAuth ErrCode = 1
+	// CodeQuota reports an exhausted server limit: connection limit at
+	// handshake, or a per-session row/command quota. Session ends.
+	CodeQuota ErrCode = 2
+	// CodeTimeout reports an expired read/idle deadline. Session ends.
+	CodeTimeout ErrCode = 3
+	// CodeCancelled acknowledges a Cancel frame: the in-flight command
+	// was aborted. The session survives.
+	CodeCancelled ErrCode = 4
+	// CodeShutdown tells the client the server is shutting down
+	// gracefully; in-flight commands are aborted with it. Session ends.
+	CodeShutdown ErrCode = 5
+	// CodeProtocol reports a client protocol violation (unexpected
+	// frame, pipeline overflow). Session ends.
+	CodeProtocol ErrCode = 6
+)
+
+func (c ErrCode) String() string {
+	switch c {
+	case CodeGeneric:
+		return "error"
+	case CodeAuth:
+		return "auth"
+	case CodeQuota:
+		return "quota"
+	case CodeTimeout:
+		return "timeout"
+	case CodeCancelled:
+		return "cancelled"
+	case CodeShutdown:
+		return "shutdown"
+	case CodeProtocol:
+		return "protocol"
+	}
+	return fmt.Sprintf("ErrCode(%d)", uint8(c))
 }
 
 // WriteFrame writes one frame: u32 payload length, u8 type, payload.
@@ -82,6 +154,12 @@ func WriteFrame(w io.Writer, t FrameType, payload []byte) error {
 	hdr[4] = byte(t)
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
+	}
+	if len(payload) == 0 {
+		// Never issue a zero-length write: net.Pipe (the test
+		// transport) rendezvouses even on empty writes, which would
+		// deadlock an unbuffered peer mid-handshake.
+		return nil
 	}
 	_, err := w.Write(payload)
 	return err
@@ -117,11 +195,12 @@ func ReadFrame(r io.Reader) (FrameType, []byte, error) {
 	return t, payload, nil
 }
 
-// writePreamble sends the client's connection opener: magic + version.
-func writePreamble(w io.Writer) error {
+// writePreamble sends the client's connection opener: magic + the
+// protocol version the client wants to speak.
+func writePreamble(w io.Writer, version uint32) error {
 	var buf [len(Magic) + 4]byte
 	copy(buf[:], Magic)
-	binary.LittleEndian.PutUint32(buf[len(Magic):], Version)
+	binary.LittleEndian.PutUint32(buf[len(Magic):], version)
 	_, err := w.Write(buf[:])
 	return err
 }
@@ -147,4 +226,22 @@ func u32(v uint32) []byte {
 	var b [4]byte
 	binary.LittleEndian.PutUint32(b[:], v)
 	return b[:]
+}
+
+// codedError renders a v2 Error payload: u8 code + text.
+func codedError(code ErrCode, msg string) []byte {
+	b := make([]byte, 1+len(msg))
+	b[0] = byte(code)
+	copy(b[1:], msg)
+	return b
+}
+
+// decodeError splits an Error payload according to the session version:
+// v2 payloads carry a leading u8 code, v1 payloads (and pre-Hello
+// handshake rejections) are bare text.
+func decodeError(version uint32, payload []byte) (ErrCode, string) {
+	if version >= 2 && len(payload) >= 1 {
+		return ErrCode(payload[0]), string(payload[1:])
+	}
+	return CodeGeneric, string(payload)
 }

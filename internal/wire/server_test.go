@@ -81,12 +81,7 @@ func startPipeServer(t *testing.T, db *icdb.DB) *pipeListener {
 func stallingClient(t *testing.T, ln *pipeListener, cmd string) net.Conn {
 	t.Helper()
 	conn := ln.dial(t)
-	if err := writePreamble(conn); err != nil {
-		t.Fatal(err)
-	}
-	if ft, _, err := ReadFrame(conn); err != nil || ft != FrameHello {
-		t.Fatalf("handshake: frame %v err %v", ft, err)
-	}
+	rawHandshake(t, conn, Version, "")
 	if err := WriteFrame(conn, FrameCommand, []byte(cmd)); err != nil {
 		t.Fatal(err)
 	}

@@ -65,6 +65,32 @@ func startServer(t *testing.T, db *icdb.DB) (*Server, string) {
 	return srv, ln.Addr().String()
 }
 
+// rawHandshake drives the client half of the handshake over a bare
+// conn, for tests that speak frames by hand: preamble, server Hello,
+// and (v2+) the auth Hello / Done exchange.
+func rawHandshake(t *testing.T, conn net.Conn, version uint32, secret string) {
+	t.Helper()
+	if err := writePreamble(conn, version); err != nil {
+		t.Fatal(err)
+	}
+	ft, payload, err := ReadFrame(conn)
+	if err != nil || ft != FrameHello {
+		t.Fatalf("handshake: frame %v err %v (payload %q)", ft, err, payload)
+	}
+	if got := doneCount(payload); got != int(version) {
+		t.Fatalf("handshake: server answered version %d to a v%d client", got, version)
+	}
+	if version >= 2 {
+		if err := WriteFrame(conn, FrameHello, []byte(secret)); err != nil {
+			t.Fatal(err)
+		}
+		ft, payload, err := ReadFrame(conn)
+		if err != nil || ft != FrameDone {
+			t.Fatalf("auth: frame %v err %v (payload %q)", ft, err, payload)
+		}
+	}
+}
+
 func dialT(t *testing.T, addr string) *Client {
 	t.Helper()
 	c, err := Dial(addr)

@@ -1,5 +1,5 @@
 #!/bin/sh
-# bench.sh — run the ICDB benchmark harness and emit the BENCH_PR6.json
+# bench.sh — run the ICDB benchmark harness and emit the BENCH_PR7.json
 # trajectory file at the repo root.
 #
 # Usage:
@@ -7,13 +7,16 @@
 #   SIZES=1000 scripts/bench.sh         # small catalog only
 #   GUARD=1 scripts/bench.sh            # fail if LoadSnapshot loses to JSON Load at 10k
 #   CONNS=0 scripts/bench.sh            # skip the concurrent wire-server scenario
+#   CHAOS=1 scripts/bench.sh            # also run the wire scenario with hostile clients
 #   SIZES=1000,10000,100000 OUT=/tmp/bench.json scripts/bench.sh
 set -eu
 cd "$(dirname "$0")/.."
 SIZES="${SIZES:-1000,10000}"
-OUT="${OUT:-BENCH_PR6.json}"
+OUT="${OUT:-BENCH_PR7.json}"
 BENCHTIME="${BENCHTIME:-300ms}"
 CONNS="${CONNS:-200}"
 GUARD_FLAG=""
 [ "${GUARD:-0}" != "0" ] && GUARD_FLAG="-guard"
-exec go run ./cmd/icdbq bench -sizes "$SIZES" -out "$OUT" -benchtime "$BENCHTIME" -conns "$CONNS" $GUARD_FLAG
+CHAOS_FLAG=""
+[ "${CHAOS:-0}" != "0" ] && CHAOS_FLAG="-chaos"
+exec go run ./cmd/icdbq bench -sizes "$SIZES" -out "$OUT" -benchtime "$BENCHTIME" -conns "$CONNS" $GUARD_FLAG $CHAOS_FLAG
