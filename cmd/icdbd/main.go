@@ -8,16 +8,34 @@
 // Usage:
 //
 //	icdbd [-addr 127.0.0.1:7390] [-db catalog] [-save] [-designs dir]
+//	      [-journal] [-fsync always|off|<duration>] [-compact-at n]
 //	      [-secret token] [-maxconns n] [-maxcmds n] [-maxrows n]
 //	      [-idle d] [-wtimeout d] [-handshake d] [-grace d] [-v]
 //
 // With -db the catalog is loaded from the given file (JSON or binary
 // snapshot, sniffed); without it the server starts from the builtin
 // seeded catalog. -save writes the catalog back (as a binary snapshot)
-// on graceful shutdown; it requires -db. -designs names the only
-// directory "expand <file>" commands may read designs from — without
-// it, expand-from-file is disabled (the safe default for a network
+// on graceful shutdown; it requires -db, and the save is skipped when
+// nothing changed since boot. -designs names the only directory
+// "expand <file>" commands may read designs from — without it,
+// expand-from-file is disabled (the safe default for a network
 // service).
+//
+// -journal makes the catalog crash-safe incrementally persistent
+// (relstore.OpenDurable): every mutation is write-ahead logged to
+// <db>.wal before it is applied, recovery replays the journal over the
+// snapshot (truncating a torn tail), and the journal is folded into
+// the snapshot when it crosses -compact-at bytes and again at graceful
+// shutdown. It requires -db and replaces -save (durability is
+// continuous, not shutdown-time). -fsync picks the journal sync
+// policy: "always" (the default; an acknowledged mutation survives any
+// crash), "off" (sync only at compaction and shutdown), or a duration
+// like "100ms" (sync at most that often; a crash loses at most the
+// last interval). A stale .wal next to a catalog that advanced without
+// journaling is rejected at boot rather than silently merged — delete
+// the journal only if you mean to discard it. Durability state —
+// journal size, records since last compaction, fsync policy, last
+// recovery outcome — is visible to any client via "show server".
 //
 // -secret requires every client to present the same shared-secret
 // token in its protocol-v2 handshake (icdbq's -secret flag or the
@@ -67,6 +85,9 @@ func runServer(args []string, ready func(addr string), stop <-chan struct{}) err
 	addr := fs.String("addr", "127.0.0.1:7390", "TCP address to listen on")
 	dbPath := fs.String("db", "", "catalog file to load (JSON or snapshot); empty starts from the builtin seed")
 	save := fs.Bool("save", false, "save the catalog back to -db (as a binary snapshot) on graceful shutdown")
+	journal := fs.Bool("journal", false, "write-ahead journal every mutation to <db>.wal (crash-safe incremental persistence); requires -db, replaces -save")
+	fsync := fs.String("fsync", "always", "journal sync policy: always, off, or an interval like 100ms")
+	compactAt := fs.Int64("compact-at", 4<<20, "journal size in bytes that triggers compaction into the snapshot; <0 disables auto-compaction")
 	designs := fs.String("designs", "", "directory expand commands may read design files from; empty disables expand-from-file")
 	secret := fs.String("secret", os.Getenv("ICDBD_SECRET"), "shared-secret auth token clients must present (default $ICDBD_SECRET); empty disables auth")
 	maxConns := fs.Int("maxconns", 256, "max concurrent connections; 0 = unlimited")
@@ -86,10 +107,36 @@ func runServer(args []string, ready func(addr string), stop <-chan struct{}) err
 	if *save && *dbPath == "" {
 		return fmt.Errorf("-save needs -db to know where to save")
 	}
+	if *journal && *dbPath == "" {
+		return fmt.Errorf("-journal needs -db to know where the catalog lives")
+	}
+	if *journal && *save {
+		return fmt.Errorf("-journal replaces -save (durability is continuous); drop -save")
+	}
+	policy, interval, err := parseFsync(*fsync)
+	if err != nil {
+		return err
+	}
 
-	store := relstore.New()
-	if *dbPath != "" {
-		var err error
+	var store *relstore.Store
+	var durable *relstore.Durable
+	switch {
+	case *journal:
+		// Crash-safe path: load snapshot + replay journal, then journal
+		// every further mutation. A missing catalog is simply a fresh
+		// one — the journal records everything from the first boot on.
+		durable, err = relstore.OpenDurable(*dbPath, relstore.DurableOptions{
+			Fsync:         policy,
+			FsyncInterval: interval,
+			CompactAt:     *compactAt,
+		})
+		if err != nil {
+			return err
+		}
+		defer durable.Close()
+		store = durable.Store
+		log.Printf("journal %s: recovery %s", durable.Info().JournalPath, durable.Recovery())
+	case *dbPath != "":
 		if store, err = relstore.Load(*dbPath); err != nil {
 			if !errors.Is(err, os.ErrNotExist) {
 				return err
@@ -102,11 +149,16 @@ func runServer(args []string, ready func(addr string), stop <-chan struct{}) err
 			store = relstore.New()
 			log.Printf("catalog %s does not exist; starting from the builtin seed", *dbPath)
 		}
+	default:
+		store = relstore.New()
 	}
 	db, err := icdb.Open(store)
 	if err != nil {
 		return err
 	}
+	// Generation after icdb.Open's bootstrap/seeding is the baseline for
+	// the shutdown no-op check: if nothing moved it, -save is skipped.
+	baseGen := store.Generation()
 
 	srv := &wire.Server{
 		DB:     db,
@@ -119,6 +171,9 @@ func runServer(args []string, ready func(addr string), stop <-chan struct{}) err
 			WriteTimeout:       *wtimeout,
 			HandshakeTimeout:   *handshake,
 		},
+	}
+	if durable != nil {
+		srv.Durability = durable.Info
 	}
 	if *designs != "" {
 		srv.ReadFile = designReader(*designs)
@@ -160,13 +215,52 @@ func runServer(args []string, ready func(addr string), stop <-chan struct{}) err
 		}
 	}
 
-	if *save {
+	switch {
+	case durable != nil:
+		// Fold the journal into the snapshot so the next boot opens
+		// without a replay, then close (which syncs the tail).
+		info := durable.Info()
+		if err := durable.Compact(); err != nil {
+			return fmt.Errorf("compacting journal: %w", err)
+		}
+		if err := durable.Close(); err != nil {
+			return fmt.Errorf("closing journal: %w", err)
+		}
+		if *verbose {
+			log.Printf("journal: %d append(s), %d sync(s), %d compaction(s), fsync=%s",
+				info.Appends, info.Syncs, durable.Info().Compactions, info.Policy)
+		}
+		log.Printf("catalog compacted to %s", *dbPath)
+	case *save:
+		// Skip the full-catalog rewrite when no mutation landed since
+		// boot — unless the file does not exist yet (fresh catalog).
+		_, statErr := os.Stat(*dbPath)
+		if store.Generation() == baseGen && statErr == nil {
+			log.Printf("catalog unchanged; skipping save to %s", *dbPath)
+			break
+		}
 		if err := store.SaveSnapshot(*dbPath); err != nil {
 			return fmt.Errorf("saving catalog: %w", err)
 		}
 		log.Printf("catalog saved to %s", *dbPath)
 	}
 	return nil
+}
+
+// parseFsync maps the -fsync flag to a journal sync policy: "always",
+// "off", or a duration string for interval syncing.
+func parseFsync(s string) (relstore.FsyncPolicy, time.Duration, error) {
+	switch s {
+	case "always":
+		return relstore.FsyncAlways, 0, nil
+	case "off":
+		return relstore.FsyncOff, 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil || d <= 0 {
+		return 0, 0, fmt.Errorf("-fsync must be always, off, or a positive duration (got %q)", s)
+	}
+	return relstore.FsyncInterval, d, nil
 }
 
 // designReader confines "expand <file>" reads to dir: the

@@ -6,9 +6,11 @@ package main
 // -db bootstrap paths behave as documented.
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"net"
+	"os"
 	"path/filepath"
 	"strings"
 	"syscall"
@@ -178,5 +180,203 @@ func TestSecretFromEnv(t *testing.T) {
 	defer c.Close()
 	if n, err := c.Exec("show impls", nil); err != nil || n == 0 {
 		t.Fatalf("authenticated exec: n=%d err=%v", n, err)
+	}
+}
+
+// TestJournalDaemonLifecycle: -journal boots a fresh catalog, journals
+// a client write, reports durability over "show server", compacts the
+// journal into the snapshot at graceful shutdown, and a second boot
+// recovers the write, re-seeds journal-silently, and leaves the
+// snapshot byte-identical after its own shutdown.
+func TestJournalDaemonLifecycle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "catalog.icdb")
+	addr, stop, done := startDaemon(t, "-db", path, "-journal")
+
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("generate Counter size=24", nil); err != nil {
+		t.Fatal(err)
+	}
+	var info strings.Builder
+	if _, err := c.Exec("show server", func(line string) {
+		info.WriteString(line + "\n")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	for _, want := range []string{"durability:   journaled, fsync=always", "recovery:     clean (no snapshot"} {
+		if !strings.Contains(info.String(), want) {
+			t.Errorf("show server output missing %q:\n%s", want, info.String())
+		}
+	}
+
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatalf("daemon exit: %v", err)
+	}
+	// Shutdown compacted: the snapshot holds everything, the journal is
+	// header-only, and the next boot needs no replay.
+	saved, err := relstore.Load(path)
+	if err != nil {
+		t.Fatalf("compacted catalog: %v", err)
+	}
+	seed := implCount(t, relstore.New())
+	if got := implCount(t, saved); got != seed+1 {
+		t.Fatalf("compacted catalog has %d impls, want seed %d + 1 generated", got, seed)
+	}
+	snap1, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Second boot: nothing mutates, so shutdown's compaction is a no-op
+	// and the snapshot is untouched — icdb.Open's re-seeding must be
+	// journal-silent for this to hold.
+	addr, stop, done = startDaemon(t, "-db", path, "-journal")
+	c2, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := c2.Exec("show impls", nil); err != nil || n == 0 {
+		t.Fatalf("impls after recovery: n=%d err=%v", n, err)
+	}
+	c2.Close()
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatalf("second daemon exit: %v", err)
+	}
+	snap2, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snap1, snap2) {
+		t.Error("idle boot+shutdown rewrote the snapshot (re-seed not journal-silent or compaction not skipped)")
+	}
+}
+
+// TestJournalDaemonRecoversTornTail: a daemon booted over a journal
+// with a torn final record recovers the clean prefix and reports the
+// truncation through "show server".
+func TestJournalDaemonRecoversTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "catalog.icdb")
+	// Build a journaled catalog directly, then tear the journal's tail.
+	d, err := relstore.OpenDurable(path, relstore.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := icdb.Open(d.Store); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	jpath := path + ".wal"
+	jdata, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(jpath, jdata[:len(jdata)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	addr, stop, done := startDaemon(t, "-db", path, "-journal")
+	defer func() {
+		close(stop)
+		<-done
+	}()
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var info strings.Builder
+	if _, err := c.Exec("show server", func(line string) {
+		info.WriteString(line + "\n")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(info.String(), "recovery:     truncated torn tail at offset") {
+		t.Errorf("show server does not report the torn-tail recovery:\n%s", info.String())
+	}
+	if n, err := c.Exec("show impls", nil); err != nil || n == 0 {
+		t.Fatalf("impls after torn-tail recovery: n=%d err=%v", n, err)
+	}
+}
+
+// TestJournalFlagValidation: -journal's flag interactions fail fast
+// with actionable errors.
+func TestJournalFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-journal"}, "needs -db"},
+		{[]string{"-journal", "-db", "x", "-save"}, "replaces -save"},
+		{[]string{"-journal", "-db", "x", "-fsync", "sometimes"}, "-fsync must be"},
+		{[]string{"-journal", "-db", "x", "-fsync", "-5s"}, "-fsync must be"},
+	} {
+		err := run(tc.args)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run(%v): err = %v, want %q", tc.args, err, tc.want)
+		}
+	}
+}
+
+// TestSaveSkipsUnchangedCatalog: a -save daemon that saw no mutations
+// leaves the catalog file untouched instead of rewriting it.
+func TestSaveSkipsUnchangedCatalog(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "catalog.icdb")
+	// First run creates the catalog (fresh file: always saved).
+	_, stop, done := startDaemon(t, "-db", path, "-save")
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	old := time.Unix(1000000000, 0)
+	if err := os.Chtimes(path, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	// Idle run: read-only traffic only; shutdown must skip the save.
+	addr, stop, done := startDaemon(t, "-db", path, "-save")
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("show impls", nil); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.ModTime().Equal(old) {
+		t.Error("idle -save run rewrote an unchanged catalog")
+	}
+
+	// A mutating run still saves.
+	addr, stop, done = startDaemon(t, "-db", path, "-save")
+	c, err = wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("generate Counter size=48", nil); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if st, err = os.Stat(path); err != nil || st.ModTime().Equal(old) {
+		t.Errorf("mutating -save run did not rewrite the catalog (stat %v, err %v)", st, err)
 	}
 }

@@ -79,6 +79,7 @@ type benchReport struct {
 	Measurements   []benchMeasure                `json:"measurements"`
 	WireBench      *wireBenchResult              `json:"wire_concurrent_clients,omitempty"`
 	WireBenchChaos *wireBenchResult              `json:"wire_concurrent_clients_chaos,omitempty"`
+	Journal        *journalBenchResult           `json:"journal,omitempty"`
 }
 
 func compare(name string, size int, baseline string, now, was benchMeasure) benchComparison {
@@ -104,6 +105,9 @@ func runBench(args []string) error {
 	guard := fs.Bool("guard", false, "fail unless LoadSnapshot beats JSON Load at the 10000 size")
 	conns := fs.Int("conns", 200, "concurrent clients for the wire-server scenario (0 disables it)")
 	chaos := fs.Bool("chaos", false, "also run the wire scenario with a quarter of the clients misbehaving")
+	jwrite := fs.Int("jwrite", 10000, "catalog size for the journal steady-state write scenario (0 disables the journal scenarios)")
+	jopen := fs.Int("jopen", 100000, "catalog size for the journal cold-open scenario")
+	jrecords := fs.Int("jrecords", 1000, "journal records replayed in the cold-open scenario")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -377,6 +381,28 @@ func runBench(args []string) error {
 			}
 		}),
 	)
+
+	// Durability scenario: journaled steady-state writes vs per-mutation
+	// snapshot rewrites, and snapshot+replay cold open vs snapshot-only.
+	if *jwrite > 0 {
+		jb, err := runJournalBench(tmp, *jwrite, *jopen, *jrecords, measure)
+		if err != nil {
+			return fmt.Errorf("journal bench: %w", err)
+		}
+		report.Journal = jb
+		fmt.Fprintf(os.Stderr, "journal write speedup %.1fx (vs snapshot rewrite at n=%d), durable open %.2fx snapshot-only (n=%d + %d records)\n",
+			jb.WriteSpeedup, jb.WriteSize, jb.OpenRatio, jb.OpenSize, jb.JournalRecords)
+		if *guard {
+			if jb.WriteSpeedup < 5 {
+				return fmt.Errorf("bench guard: journaled write (%.0f ns/op) is only %.1fx the per-mutation snapshot rewrite (%.0f ns/op) at %d rows, want >= 5x",
+					jb.JournalWriteNsPerOp, jb.WriteSpeedup, jb.SnapshotWriteNsPerOp, jb.WriteSize)
+			}
+			if jb.OpenRatio > 2 {
+				return fmt.Errorf("bench guard: durable open (%.0f ns/op) is %.2fx the snapshot-only open (%.0f ns/op) at %d rows, want <= 2x",
+					jb.DurableOpenNsPerOp, jb.OpenRatio, jb.SnapOpenNsPerOp, jb.OpenSize)
+			}
+		}
+	}
 
 	// Concurrent-client scenario: an in-process wire server under mixed
 	// find/generate/expand traffic from hundreds of sessions. Any command

@@ -1,0 +1,196 @@
+// journalbench.go implements the durability scenario of "icdbq bench":
+// steady-state write cost with the write-ahead journal against the
+// only durable alternative it replaced (a full snapshot rewrite per
+// mutation), and cold-open cost of snapshot+journal-replay recovery
+// against a plain snapshot load. The first is the reason the journal
+// exists (per-mutation durability that does not rewrite the catalog);
+// the second is its price at boot, which compaction keeps bounded.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"icdb/internal/benchgen"
+	"icdb/internal/relstore"
+)
+
+// journalBenchResult is the "journal" section of the bench report.
+type journalBenchResult struct {
+	// Steady-state writes against a WriteSize-row catalog: one
+	// effective Upsert made durable by a journal append+fsync, vs the
+	// same Upsert made durable by a full SaveSnapshot rewrite.
+	WriteSize            int     `json:"write_size"`
+	FsyncPolicy          string  `json:"fsync_policy"`
+	JournalWriteNsPerOp  float64 `json:"journal_write_ns_per_op"`
+	SnapshotWriteNsPerOp float64 `json:"snapshot_rewrite_ns_per_op"`
+	WriteSpeedup         float64 `json:"write_speedup"`
+
+	// Cold open of an OpenSize-row catalog: OpenDurable (snapshot load
+	// + JournalRecords replayed) vs LoadSnapshot alone.
+	OpenSize           int     `json:"open_size"`
+	JournalRecords     int     `json:"journal_records"`
+	DurableOpenNsPerOp float64 `json:"durable_open_ns_per_op"`
+	SnapOpenNsPerOp    float64 `json:"snapshot_open_ns_per_op"`
+	OpenRatio          float64 `json:"open_ratio"`
+}
+
+// benchKV is the small keyed table the write scenario mutates; the
+// catalog rows around it are what a per-mutation snapshot rewrite has
+// to re-encode every time, and what OpenDurable has to load at boot.
+var benchKV = relstore.Schema{
+	Table: "bench_kv",
+	Columns: []relstore.Column{
+		{Name: "k", Type: relstore.TString},
+		{Name: "v", Type: relstore.TInt},
+	},
+	Key: []string{"k"},
+}
+
+// runJournalBench measures both scenarios. measure is runBench's
+// instrumented testing.Benchmark wrapper.
+func runJournalBench(tmp string, writeSize, openSize, records int,
+	measure func(name string, size int, f func(b *testing.B)) benchMeasure) (*journalBenchResult, error) {
+
+	res := &journalBenchResult{
+		WriteSize:      writeSize,
+		FsyncPolicy:    relstore.FsyncAlways.String(),
+		OpenSize:       openSize,
+		JournalRecords: records,
+	}
+
+	// --- Steady-state writes at writeSize rows ---
+	fmt.Fprintf(os.Stderr, "building %d-implementation catalog for the journal write scenario...\n", writeSize)
+	db, err := benchgen.NewDB(writeSize)
+	if err != nil {
+		return nil, err
+	}
+	writeSnap := filepath.Join(tmp, "jwrite.snap")
+	if err := db.Store().SaveSnapshot(writeSnap); err != nil {
+		return nil, err
+	}
+	db = nil
+	runtime.GC()
+
+	d, err := relstore.OpenDurable(writeSnap, relstore.DurableOptions{
+		Fsync:     relstore.FsyncAlways,
+		CompactAt: -1, // the scenario measures appends, not compaction
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := d.CreateTable(benchKV); err != nil {
+		d.Close()
+		return nil, err
+	}
+	seq := 0
+	jw := measure("journal_write_fsync_always", writeSize, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			seq++
+			if err := d.Upsert("bench_kv", relstore.Row{"k": "hot", "v": seq}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if err := d.Close(); err != nil {
+		return nil, err
+	}
+
+	// Baseline: the same effective mutation made durable the only way
+	// the snapshot-only store can — a full atomic catalog rewrite.
+	s, err := relstore.LoadSnapshot(writeSnap)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.CreateTable(benchKV); err != nil {
+		return nil, err
+	}
+	baseSnap := filepath.Join(tmp, "jwrite_base.snap")
+	sw := measure("snapshot_rewrite_per_write", writeSize, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			seq++
+			if err := s.Upsert("bench_kv", relstore.Row{"k": "hot", "v": seq}); err != nil {
+				b.Fatal(err)
+			}
+			if err := s.SaveSnapshot(baseSnap); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	res.JournalWriteNsPerOp = jw.NsPerOp
+	res.SnapshotWriteNsPerOp = sw.NsPerOp
+	if jw.NsPerOp > 0 {
+		res.WriteSpeedup = sw.NsPerOp / jw.NsPerOp
+	}
+
+	// --- Cold open at openSize rows with a replay tail ---
+	fmt.Fprintf(os.Stderr, "building %d-implementation catalog for the journal open scenario...\n", openSize)
+	big, err := benchgen.NewDB(openSize)
+	if err != nil {
+		return nil, err
+	}
+	openSnap := filepath.Join(tmp, "jopen.snap")
+	if err := big.Store().SaveSnapshot(openSnap); err != nil {
+		return nil, err
+	}
+	big = nil
+	runtime.GC()
+
+	// Leave `records` journal records next to the snapshot: the replay
+	// tail a catalog accumulates between compactions.
+	d2, err := relstore.OpenDurable(openSnap, relstore.DurableOptions{
+		Fsync:     relstore.FsyncOff,
+		CompactAt: -1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := d2.CreateTable(benchKV); err != nil {
+		d2.Close()
+		return nil, err
+	}
+	for i := 0; i < records-1; i++ {
+		if err := d2.Upsert("bench_kv", relstore.Row{"k": fmt.Sprintf("k%05d", i), "v": i}); err != nil {
+			d2.Close()
+			return nil, err
+		}
+	}
+	if err := d2.Close(); err != nil {
+		return nil, err
+	}
+
+	do := measure("open_durable_with_replay", openSize, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			d, err := relstore.OpenDurable(openSnap, relstore.DurableOptions{CompactAt: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if ri := d.Recovery(); ri.Replayed != records || ri.Truncated {
+				b.Fatalf("recovery = %v, want a clean %d-record replay", ri, records)
+			}
+			if err := d.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	so := measure("open_snapshot_only", openSize, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := relstore.LoadSnapshot(openSnap); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	res.DurableOpenNsPerOp = do.NsPerOp
+	res.SnapOpenNsPerOp = so.NsPerOp
+	if so.NsPerOp > 0 {
+		res.OpenRatio = do.NsPerOp / so.NsPerOp
+	}
+	return res, nil
+}

@@ -1,0 +1,267 @@
+// Package faultfile is an in-memory, fault-injecting implementation of
+// the relstore.FS seam — the filesystem counterpart of wire/faultconn.
+// It exists so the crash-torture suite can kill the durability layer at
+// every single filesystem operation and assert recovery, something the
+// real filesystem cannot do deterministically.
+//
+// The crash model mirrors what a power loss leaves on disk:
+//
+//   - Every FS and File operation (Create, OpenAppend, Rename, Remove,
+//     Write, Sync) is one numbered op. CrashAt(n) lets the first n ops
+//     succeed; the op numbered n+1 and everything after it fails with
+//     ErrCrashed.
+//   - Bytes written but not yet synced are volatile. A crashed Write
+//     still lands its bytes in the volatile buffer — whether they
+//     survive is decided when the post-crash image is taken.
+//   - Image(keep) freezes the durable state: every file keeps its
+//     synced prefix, plus none, half, or all of its volatile tail
+//     (KeepNone / KeepHalf / KeepAll). Sweeping keep modes is how a
+//     test exercises torn, partial, and complete unsynced tails from
+//     one crash point.
+//   - A completed Rename is durable (the journal and snapshot
+//     protocols only rename fully-synced temp files, so this matches
+//     the guarantee they actually rely on); a crashed Rename never
+//     happened.
+//
+// A typical torture sweep runs the workload once against a crash-free
+// FS to count ops, then re-runs it with CrashAt(k) for every k,
+// recovers from Image(keep) for every keep mode, and asserts the
+// recovered store is exactly a committed prefix of the workload.
+package faultfile
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"icdb/internal/relstore"
+)
+
+// ErrCrashed is returned by every operation after the injected crash
+// point: the process is "dead" and nothing further takes effect.
+var ErrCrashed = errors.New("faultfile: crashed")
+
+// Keep selects how much of each file's unsynced (volatile) tail
+// survives into the post-crash image.
+type Keep int
+
+// Keep modes.
+const (
+	// KeepNone drops every unsynced byte: the strictest image, only
+	// synced data survives.
+	KeepNone Keep = iota
+	// KeepHalf keeps the first half of each unsynced tail: the torn
+	// mid-record write.
+	KeepHalf
+	// KeepAll keeps every unsynced byte: the write made it to the
+	// platter just before the lights went out.
+	KeepAll
+)
+
+// node is one file's state: the synced (durable) prefix length and the
+// full volatile content.
+type node struct {
+	buf    []byte
+	synced int // buf[:synced] is durable
+}
+
+// FS is the fault-injecting filesystem. The zero value is not usable;
+// call New. All methods are safe for concurrent use.
+type FS struct {
+	mu      sync.Mutex
+	files   map[string]*node
+	ops     int64
+	crashAt int64 // ops beyond this index fail; <0 means never
+	failAt  int64 // this single op fails with failErr; 0 means never
+	failErr error
+}
+
+// New returns an empty filesystem with no crash point configured.
+func New() *FS {
+	return &FS{files: map[string]*node{}, crashAt: -1}
+}
+
+// CrashAt arranges for the first n operations to succeed and every
+// later one to fail with ErrCrashed. CrashAt(0) crashes immediately.
+func (fs *FS) CrashAt(n int64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.crashAt = n
+}
+
+// FailAt arranges for the single operation numbered n (1-based) to
+// fail with err without taking effect; operations after it succeed
+// again. It models a transient I/O error rather than a crash.
+func (fs *FS) FailAt(n int64, err error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.failAt = n
+	fs.failErr = err
+}
+
+// Ops reports how many operations have been attempted so far. Run a
+// workload crash-free and read Ops to learn the sweep bound.
+func (fs *FS) Ops() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.ops
+}
+
+// Crashed reports whether the crash point has been reached.
+func (fs *FS) Crashed() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.crashAt >= 0 && fs.ops >= fs.crashAt
+}
+
+// step counts one operation and decides its fate: nil to proceed,
+// ErrCrashed past the crash point, or the injected transient error.
+// Callers hold fs.mu.
+func (fs *FS) step() error {
+	fs.ops++
+	if fs.crashAt >= 0 && fs.ops > fs.crashAt {
+		return ErrCrashed
+	}
+	if fs.failAt != 0 && fs.ops == fs.failAt {
+		return fs.failErr
+	}
+	return nil
+}
+
+// Image freezes the durable state after a crash: each file's synced
+// prefix plus the kept portion of its unsynced tail, as a fresh
+// crash-free FS ready to recover from. It may be called whether or not
+// the crash point was reached (before it, unsynced tails are still
+// volatile and keep applies the same way).
+func (fs *FS) Image(keep Keep) *FS {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	img := New()
+	for path, n := range fs.files {
+		end := n.synced
+		tail := len(n.buf) - n.synced
+		switch keep {
+		case KeepHalf:
+			end += tail / 2
+		case KeepAll:
+			end += tail
+		}
+		data := make([]byte, end)
+		copy(data, n.buf[:end])
+		img.files[path] = &node{buf: data, synced: end}
+	}
+	return img
+}
+
+// ReadFile implements relstore.FS. Reads are not counted as crash ops:
+// recovery reads from the post-crash image, and a dead process does
+// not read.
+func (fs *FS) ReadFile(path string) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n, ok := fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("faultfile: %s: %w", path, os.ErrNotExist)
+	}
+	out := make([]byte, len(n.buf))
+	copy(out, n.buf)
+	return out, nil
+}
+
+// Create implements relstore.FS: truncating create.
+func (fs *FS) Create(path string) (relstore.File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.step(); err != nil {
+		return nil, err
+	}
+	n := &node{}
+	fs.files[path] = n
+	return &file{fs: fs, n: n}, nil
+}
+
+// OpenAppend implements relstore.FS.
+func (fs *FS) OpenAppend(path string) (relstore.File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.step(); err != nil {
+		return nil, err
+	}
+	n, ok := fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("faultfile: %s: %w", path, os.ErrNotExist)
+	}
+	return &file{fs: fs, n: n}, nil
+}
+
+// Rename implements relstore.FS. A completed rename is durable.
+func (fs *FS) Rename(oldpath, newpath string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.step(); err != nil {
+		return err
+	}
+	n, ok := fs.files[oldpath]
+	if !ok {
+		return fmt.Errorf("faultfile: rename %s: %w", oldpath, os.ErrNotExist)
+	}
+	delete(fs.files, oldpath)
+	fs.files[newpath] = n
+	return nil
+}
+
+// Remove implements relstore.FS.
+func (fs *FS) Remove(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if err := fs.step(); err != nil {
+		return err
+	}
+	if _, ok := fs.files[path]; !ok {
+		return fmt.Errorf("faultfile: remove %s: %w", path, os.ErrNotExist)
+	}
+	delete(fs.files, path)
+	return nil
+}
+
+// file is one open handle. Handles stay usable after a crashed op only
+// in the sense that they keep returning ErrCrashed.
+type file struct {
+	fs *FS
+	n  *node
+}
+
+// Write appends p. A crashed Write still lands its bytes in the
+// volatile buffer — Image's keep mode decides whether they survive —
+// but reports the crash, so the caller treats the write as failed.
+func (f *file) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	err := f.fs.step()
+	f.n.buf = append(f.n.buf, p...)
+	if err != nil {
+		if errors.Is(err, ErrCrashed) {
+			return 0, err
+		}
+		// Transient failure: the bytes did not land.
+		f.n.buf = f.n.buf[:len(f.n.buf)-len(p)]
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// Sync marks everything written so far durable.
+func (f *file) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if err := f.fs.step(); err != nil {
+		return err
+	}
+	f.n.synced = len(f.n.buf)
+	return nil
+}
+
+// Close implements relstore.File. Closing is free: it is not a
+// durability barrier and nothing interesting crashes inside it.
+func (f *file) Close() error { return nil }

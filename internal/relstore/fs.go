@@ -1,0 +1,98 @@
+// The filesystem seam the durability layer (journal.go) writes
+// through. Production code runs on the real OS filesystem (osFS);
+// the crash-torture suite swaps in faultfile's in-memory
+// fault-injecting implementation to kill the store at every write,
+// sync, and rename and assert recovery — the same
+// inject-at-the-boundary discipline wire/faultconn established for
+// the network layer.
+
+package relstore
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// File is one open journal or snapshot file: sequential writes, an
+// explicit durability barrier, and close. It is the narrow surface the
+// write-ahead journal needs — no seeks, no reads (recovery reads whole
+// files through FS.ReadFile).
+type File interface {
+	io.Writer
+	// Sync flushes everything written so far to stable storage. The
+	// journal's fsync policy decides how often it runs; the crash model
+	// (see faultfile) is that only synced bytes are guaranteed to
+	// survive a crash.
+	Sync() error
+	// Close releases the file. It does not imply Sync.
+	Close() error
+}
+
+// FS is the filesystem the durability layer operates on. The journal
+// protocol only ever appends to open files, replaces files via
+// write-temp/sync/rename, and reads whole files at recovery — so this
+// is the whole interface. Implementations: the package-default OS
+// filesystem, and faultfile.FS for crash injection in tests.
+type FS interface {
+	// ReadFile returns the full contents of path, or an error wrapping
+	// os.ErrNotExist when it does not exist.
+	ReadFile(path string) ([]byte, error)
+	// Create opens path for writing, truncating it if it exists.
+	Create(path string) (File, error)
+	// OpenAppend opens an existing path for appending.
+	OpenAppend(path string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes path.
+	Remove(path string) error
+}
+
+// osFS is the real filesystem; DurableOptions.FS defaults to it.
+type osFS struct{}
+
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (osFS) Create(path string) (File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func (osFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(path string) error { return os.Remove(path) }
+
+// writeAtomicFS writes data to path through fsys with the same
+// crash-safe protocol as writeFileAtomic: stage in a temp file in the
+// same directory, sync, close, rename. Either the old file or the
+// complete new one is visible at path at every instant.
+func writeAtomicFS(fsys FS, path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("relstore: save %s: %w", path, err)
+	}
+	fail := func(err error) error {
+		f.Close()
+		fsys.Remove(tmp)
+		return fmt.Errorf("relstore: save %s: %w", path, err)
+	}
+	if _, err := f.Write(data); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("relstore: save %s: %w", path, err)
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return fmt.Errorf("relstore: save %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,1036 @@
+// Write-ahead journal: crash-safe incremental persistence between
+// full snapshots. The wire format and recovery rules live in
+// JOURNAL.md; the short version:
+//
+//   - A Durable store appends one CRC-32C-checksummed record per
+//     mutation (Insert/Upsert/Update/Delete, CreateTable/CreateIndex/
+//     DropTable) to an append-only journal file *before* applying the
+//     mutation in memory, under the store's write lock, with a
+//     configurable fsync policy. A mutation is acknowledged only after
+//     its record is in the journal.
+//   - OpenDurable recovers by loading the snapshot (if any) and
+//     replaying the journal. A torn or partially-written tail —
+//     the expected shape of a crash mid-append — is truncated at the
+//     last valid record; a corrupt record with valid records after it
+//     is rejected as real corruption, never silently dropped.
+//   - Replay is exactly-once: every record has an implicit sequence
+//     number (the journal header's base LSN plus its position), each
+//     snapshot is stamped with the LSN it covers, and recovery skips
+//     records below that mark. That makes compaction crash-safe:
+//     Compact writes a fresh snapshot (temp + fsync + rename) and only
+//     then rewrites the journal without the folded prefix; a crash
+//     between the two steps leaves folded records in the file, but the
+//     new snapshot's covered LSN keeps them from re-applying. Records
+//     address rows by primary key (rowids are not stable across a
+//     snapshot reload), so journaled tables must declare one.
+//   - The journal is fail-stop: if an append or sync fails partway,
+//     later bytes could land after a torn record and become
+//     unrecoverable, so the first failure poisons the journal and
+//     every subsequent mutation errors until the store is reopened.
+//     Recovery then truncates the torn record — nothing after it was
+//     ever acknowledged.
+
+package relstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// walMagic opens every journal file, followed by a u32 version and a
+	// u64 base LSN.
+	walMagic = "ICDBJRNL"
+	// walVersion is the current journal format version.
+	walVersion = 1
+	// walHeaderLen is magic + version + base LSN. The base LSN is the
+	// sequence number of the file's first record: record i carries LSN
+	// base+i implicitly, and compaction bumps the base as it drops the
+	// folded prefix. Recovery skips records below the snapshot's covered
+	// LSN, which makes replay exactly-once — the compaction crash window
+	// (new snapshot durable, journal not yet trimmed) re-reads folded
+	// records but never re-applies them.
+	walHeaderLen = len(walMagic) + 4 + 8
+	// walFrameLen is the per-record frame: u32 payload length + u32
+	// CRC-32C of the payload.
+	walFrameLen = 8
+	// walMaxRecord bounds one record's payload (a multi-row Update or
+	// Delete batch is one record); larger declared lengths are treated
+	// as garbage framing.
+	walMaxRecord = 64 << 20
+)
+
+// Journal record opcodes (first payload byte).
+const (
+	walOpCreateTable = 1
+	walOpCreateIndex = 2
+	walOpDropTable   = 3
+	walOpInsert      = 4
+	walOpUpsert      = 5
+	walOpUpdate      = 6
+	walOpDelete      = 7
+)
+
+// Journal value tags (self-describing scalar encoding).
+const (
+	walValString = 0
+	walValInt    = 1
+	walValFloat  = 2
+	walValBool   = 3
+)
+
+// FsyncPolicy says when the journal flushes appended records to stable
+// storage. The policy is the durability/latency trade-off knob: what a
+// crash can lose is exactly the records appended since the last sync.
+type FsyncPolicy int
+
+// Fsync policies.
+const (
+	// FsyncAlways syncs after every record: an acknowledged mutation
+	// survives any crash. The default.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval syncs at most once per DurableOptions.FsyncInterval
+	// (a background ticker catches the idle tail): a crash loses at
+	// most the last interval's acknowledged records.
+	FsyncInterval
+	// FsyncOff never syncs except on Close and compaction: a crash may
+	// lose any acknowledged record since the last durable point, but
+	// recovery still yields a clean prefix of them.
+	FsyncOff
+)
+
+// String names the policy the way the icdbd -fsync flag spells it.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncOff:
+		return "off"
+	}
+	return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+}
+
+// DurableOptions configures OpenDurable. The zero value is a journal
+// next to the snapshot (path + ".wal"), fsync on every record, a 4 MiB
+// auto-compaction threshold, and the real filesystem.
+type DurableOptions struct {
+	// Journal is the journal file path; empty defaults to the snapshot
+	// path + ".wal".
+	Journal string
+	// Fsync is the sync policy; the zero value is FsyncAlways.
+	Fsync FsyncPolicy
+	// FsyncInterval is the FsyncInterval period; the zero value is
+	// 100ms. Ignored by the other policies.
+	FsyncInterval time.Duration
+	// CompactAt is the journal size in bytes that triggers an automatic
+	// background compaction; 0 uses the 4 MiB default and a negative
+	// value disables auto-compaction (Compact can still be called).
+	CompactAt int64
+	// FS is the filesystem to operate on; nil is the real one. The
+	// crash-torture tests inject faultfile.FS here.
+	FS FS
+}
+
+// RecoveryInfo describes what OpenDurable found and did.
+type RecoveryInfo struct {
+	// SnapshotLoaded reports whether a snapshot (or JSON catalog)
+	// existed at the store path.
+	SnapshotLoaded bool
+	// Replayed is the number of journal records applied.
+	Replayed int
+	// Truncated reports whether a torn tail was cut off the journal.
+	Truncated bool
+	// TruncatedAt is the byte offset of the cut when Truncated.
+	TruncatedAt int64
+}
+
+// String renders the outcome for logs and "show server": "clean" or
+// "truncated torn tail at offset N", plus the replay count.
+func (ri RecoveryInfo) String() string {
+	src := "no snapshot"
+	if ri.SnapshotLoaded {
+		src = "snapshot"
+	}
+	if ri.Truncated {
+		return fmt.Sprintf("truncated torn tail at offset %d (%s + %d journal record(s))", ri.TruncatedAt, src, ri.Replayed)
+	}
+	return fmt.Sprintf("clean (%s + %d journal record(s))", src, ri.Replayed)
+}
+
+// DurabilityInfo is a snapshot of a Durable store's journal state, the
+// numbers behind "show server"'s durability lines.
+type DurabilityInfo struct {
+	JournalPath string
+	// Policy is the fsync policy, rendered ("always", "interval(1s)",
+	// "off").
+	Policy string
+	// JournalBytes is the journal file's current size.
+	JournalBytes int64
+	// Records is the record count in the journal — the mutations not
+	// yet folded into the snapshot by compaction.
+	Records int64
+	// Appends and Syncs count journal appends and fsyncs since open.
+	Appends int64
+	Syncs   int64
+	// Compactions counts completed compactions since open.
+	Compactions int64
+	// Recovery is what OpenDurable found.
+	Recovery RecoveryInfo
+}
+
+// errWALClosed poisons the journal after Close.
+var errWALClosed = errors.New("journal is closed")
+
+// wal is the open journal file and its bookkeeping. Appends happen
+// under the owning Store's write lock (then wal.mu); compaction takes
+// only wal.mu for the file swap, so rotating never blocks readers.
+type wal struct {
+	fs   FS
+	path string
+
+	mu       sync.Mutex
+	f        File
+	size     int64 // file size including header
+	base     int64 // LSN of the file's first record
+	records  int64 // records in the file (since last compaction)
+	appends  int64
+	syncs    int64
+	dirty    bool // bytes written since the last sync
+	broken   error
+	policy   FsyncPolicy
+	interval time.Duration
+	lastSync time.Time
+
+	// compaction trigger: append signals notify (non-blocking) when
+	// size crosses compactAt.
+	compactAt int64
+	notify    chan struct{}
+}
+
+// append frames payload (length + CRC-32C), writes it, and applies the
+// fsync policy. The caller holds the store write lock, so record order
+// in the file is apply order in memory.
+func (w *wal) append(payload []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.broken != nil {
+		return fmt.Errorf("relstore: journal %s unusable after earlier failure: %w", w.path, w.broken)
+	}
+	frame := make([]byte, walFrameLen+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, snapCRC))
+	copy(frame[walFrameLen:], payload)
+	if _, err := w.f.Write(frame); err != nil {
+		// The file may now end in a torn record; anything appended after
+		// it would be unreachable at recovery. Fail-stop.
+		w.broken = err
+		return fmt.Errorf("relstore: journal %s: %w", w.path, err)
+	}
+	w.size += int64(len(frame))
+	w.records++
+	w.appends++
+	w.dirty = true
+	switch w.policy {
+	case FsyncAlways:
+		if err := w.syncLocked(); err != nil {
+			return err
+		}
+	case FsyncInterval:
+		if time.Since(w.lastSync) >= w.interval {
+			if err := w.syncLocked(); err != nil {
+				return err
+			}
+		}
+	}
+	if w.notify != nil && w.compactAt > 0 && w.size >= w.compactAt {
+		select {
+		case w.notify <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+func (w *wal) syncLocked() error {
+	if err := w.f.Sync(); err != nil {
+		w.broken = err
+		return fmt.Errorf("relstore: journal %s: sync: %w", w.path, err)
+	}
+	w.syncs++
+	w.dirty = false
+	w.lastSync = time.Now()
+	return nil
+}
+
+// syncIfDirty is the background ticker's flush for FsyncInterval.
+func (w *wal) syncIfDirty() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.broken != nil || !w.dirty {
+		return nil
+	}
+	return w.syncLocked()
+}
+
+// position returns the journal's current (base, records, size): the
+// next LSN is base+records and size is the byte cut for compaction.
+// Called under the store's write-excluding lock so the cut is
+// consistent with the in-memory state.
+func (w *wal) position() (base, records, size int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.base, w.records, w.size
+}
+
+// truncateTo rewrites the journal keeping only the bytes past cut —
+// the records appended after a compaction captured its snapshot — via
+// the same temp/sync/rename protocol as snapshots, then reopens for
+// append. recs records are dropped from the count and the base LSN
+// advances past them.
+func (w *wal) truncateTo(cut, recs int64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.broken != nil {
+		return fmt.Errorf("relstore: journal %s unusable after earlier failure: %w", w.path, w.broken)
+	}
+	all, err := w.fs.ReadFile(w.path)
+	if err != nil || int64(len(all)) < cut {
+		if err == nil {
+			err = fmt.Errorf("journal shrank below compaction cut %d", cut)
+		}
+		w.broken = err
+		return fmt.Errorf("relstore: journal %s: %w", w.path, err)
+	}
+	w.f.Close()
+	nf, size, err := rewriteJournal(w.fs, w.path, w.base+recs, all[cut:])
+	if err != nil {
+		w.broken = err
+		return fmt.Errorf("relstore: journal %s: %w", w.path, err)
+	}
+	w.f = nf
+	w.size = size
+	w.base += recs
+	w.records -= recs
+	w.dirty = false
+	w.lastSync = time.Now()
+	return nil
+}
+
+// close syncs and closes the journal, poisoning further appends.
+func (w *wal) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.broken != nil {
+		return w.f.Close()
+	}
+	var err error
+	if w.dirty {
+		err = w.f.Sync()
+	}
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.broken = errWALClosed
+	return err
+}
+
+// rewriteJournal atomically replaces path with a fresh journal holding
+// tail (already-framed record bytes, first record numbered base) and
+// reopens it for append: write header+tail to a temp file, sync,
+// rename, open. Used to create a new journal, cut a torn tail at
+// recovery, and drop the folded prefix at compaction — in every case
+// the bytes kept are synced before the rename, so the swap is atomic
+// under the crash model.
+func rewriteJournal(fsys FS, path string, base int64, tail []byte) (File, int64, error) {
+	tmp := path + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return nil, 0, err
+	}
+	var hdr [walHeaderLen]byte
+	copy(hdr[:], walMagic)
+	binary.LittleEndian.PutUint32(hdr[len(walMagic):], walVersion)
+	binary.LittleEndian.PutUint64(hdr[len(walMagic)+4:], uint64(base))
+	if _, err := f.Write(hdr[:]); err == nil && len(tail) > 0 {
+		_, err = f.Write(tail)
+	}
+	if err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return nil, 0, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return nil, 0, err
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return nil, 0, err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
+		return nil, 0, err
+	}
+	nf, err := fsys.OpenAppend(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	return nf, int64(walHeaderLen + len(tail)), nil
+}
+
+// Durable is a Store whose mutations are write-ahead journaled: every
+// Insert/Upsert/Update/Delete (and schema change) on the embedded
+// Store appends a checksummed record to the journal before it applies,
+// so a crash at any instant recovers, via OpenDurable, to exactly a
+// prefix of the acknowledged mutations — all of them under
+// FsyncAlways. Compact folds the journal into a fresh snapshot. All
+// methods are safe for concurrent use alongside the Store's own.
+type Durable struct {
+	*Store
+
+	fs       FS
+	path     string
+	w        *wal
+	recovery RecoveryInfo
+
+	// compactMu serializes compactions; haveSnap (guarded by it) lets
+	// a no-op compaction skip rewriting an unchanged snapshot.
+	compactMu   sync.Mutex
+	haveSnap    bool
+	compactions atomic.Int64
+
+	stop      chan struct{}
+	loopDone  chan struct{}
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// OpenDurable opens (or creates) a journaled store: it loads the
+// snapshot at path if one exists (JSON catalogs are sniffed, like
+// Load), replays the journal over it per the JOURNAL.md recovery
+// rules, and attaches the journal so every further mutation is
+// write-ahead logged. Journaled tables must declare a primary key —
+// replay is key-addressed — so OpenDurable rejects catalogs with
+// keyless tables. Close the store when done; an exiting process that
+// skips Close loses nothing under FsyncAlways.
+func OpenDurable(path string, opt DurableOptions) (*Durable, error) {
+	fsys := opt.FS
+	if fsys == nil {
+		fsys = osFS{}
+	}
+	jpath := opt.Journal
+	if jpath == "" {
+		jpath = path + ".wal"
+	}
+	if opt.FsyncInterval <= 0 {
+		opt.FsyncInterval = 100 * time.Millisecond
+	}
+	if opt.CompactAt == 0 {
+		opt.CompactAt = 4 << 20
+	}
+
+	d := &Durable{fs: fsys, path: path, w: &wal{
+		fs:       fsys,
+		path:     jpath,
+		policy:   opt.Fsync,
+		interval: opt.FsyncInterval,
+		lastSync: time.Now(),
+	}}
+	if opt.CompactAt > 0 {
+		d.w.compactAt = opt.CompactAt
+		d.w.notify = make(chan struct{}, 1)
+	}
+
+	// 1. Snapshot (or legacy JSON catalog), if present. The snapshot's
+	// covered LSN says which journal records it already folds in.
+	s := New()
+	var snapLSN uint64
+	if data, err := fsys.ReadFile(path); err == nil {
+		if IsSnapshot(data) {
+			if s, snapLSN, err = decodeSnapshot(data); err != nil {
+				return nil, fmt.Errorf("relstore: open durable: load snapshot %s: %w", path, err)
+			}
+		} else if s, err = loadJSON(path, data); err != nil {
+			return nil, fmt.Errorf("relstore: open durable: %w", err)
+		}
+		d.recovery.SnapshotLoaded = true
+		d.haveSnap = true
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("relstore: open durable: %w", err)
+	}
+	for name, t := range s.tables {
+		if len(t.schema.Key) == 0 {
+			return nil, fmt.Errorf("relstore: open durable %s: table %q has no primary key; journaled stores require keyed tables", path, name)
+		}
+	}
+
+	// 2. Journal scan: validate framing, split records, find the torn
+	// tail (if any) or reject mid-file corruption.
+	var records [][]byte
+	base := int64(snapLSN) // a fresh journal starts where the snapshot left off
+	validEnd := int64(walHeaderLen)
+	torn := false
+	jdata, err := fsys.ReadFile(jpath)
+	switch {
+	case errors.Is(err, os.ErrNotExist) || (err == nil && len(jdata) == 0):
+		jdata = nil
+	case err != nil:
+		return nil, fmt.Errorf("relstore: open durable: journal %s: %w", jpath, err)
+	default:
+		if len(jdata) < walHeaderLen || string(jdata[:len(walMagic)]) != walMagic {
+			return nil, fmt.Errorf("relstore: open durable: journal %s: bad magic (not an ICDB journal)", jpath)
+		}
+		if v := binary.LittleEndian.Uint32(jdata[len(walMagic):]); v != walVersion {
+			return nil, fmt.Errorf("relstore: open durable: journal %s: unsupported version %d (this build reads version %d)", jpath, v, walVersion)
+		}
+		base = int64(binary.LittleEndian.Uint64(jdata[len(walMagic)+4 : walHeaderLen]))
+		if uint64(base) > snapLSN {
+			return nil, fmt.Errorf("relstore: open durable: journal %s begins at LSN %d but snapshot %s only covers %d — records in between are missing (mismatched snapshot/journal pair?)",
+				jpath, base, path, snapLSN)
+		}
+		off := int64(walHeaderLen)
+		for off < int64(len(jdata)) {
+			rem := int64(len(jdata)) - off
+			if rem < walFrameLen {
+				torn = true // frame header ran off the end: torn tail
+				break
+			}
+			ln := int64(binary.LittleEndian.Uint32(jdata[off:]))
+			sum := binary.LittleEndian.Uint32(jdata[off+4:])
+			if ln == 0 || ln > walMaxRecord || ln > rem-walFrameLen {
+				// Garbage or short framing: nothing past this point can be
+				// parsed reliably, and a valid journal never produces it
+				// mid-file — treat as the torn tail.
+				torn = true
+				break
+			}
+			payload := jdata[off+walFrameLen : off+walFrameLen+ln]
+			if crc32.Checksum(payload, snapCRC) != sum {
+				if off+walFrameLen+ln == int64(len(jdata)) {
+					torn = true // checksum failed on the final record: torn write
+					break
+				}
+				return nil, fmt.Errorf("relstore: open durable: journal %s: corrupt record at offset %d (checksum mismatch mid-journal, valid records follow)", jpath, off)
+			}
+			records = append(records, payload)
+			off += walFrameLen + ln
+			validEnd = off
+		}
+	}
+
+	// 3. Replay the valid records the snapshot does not already cover.
+	// Skipping below the covered LSN makes replay exactly-once: after a
+	// crash between compaction's snapshot rename and its journal trim,
+	// the folded prefix is still in the file but is never re-applied.
+	skip := int64(snapLSN) - base
+	if skip > int64(len(records)) {
+		// The snapshot covers records the journal no longer holds (it was
+		// trimmed, or this is a backup stamped mid-journal); nothing to
+		// replay.
+		skip = int64(len(records))
+	}
+	for i, payload := range records[skip:] {
+		if err := s.applyWALRecord(payload); err != nil {
+			return nil, fmt.Errorf("relstore: open durable: journal %s: record %d (LSN %d): %w", jpath, int(skip)+i, base+skip+int64(i), err)
+		}
+	}
+	d.recovery.Replayed = len(records) - int(skip)
+	if torn {
+		d.recovery.Truncated = true
+		d.recovery.TruncatedAt = validEnd
+	}
+
+	// 4. Make the truncation physical (or create a fresh journal) and
+	// open for append. An intact existing journal is opened in place.
+	if jdata == nil || torn {
+		var tail []byte
+		if torn {
+			tail = jdata[walHeaderLen:validEnd]
+		}
+		f, size, err := rewriteJournal(fsys, jpath, base, tail)
+		if err != nil {
+			return nil, fmt.Errorf("relstore: open durable: journal %s: %w", jpath, err)
+		}
+		d.w.f = f
+		d.w.size = size
+	} else {
+		f, err := fsys.OpenAppend(jpath)
+		if err != nil {
+			return nil, fmt.Errorf("relstore: open durable: journal %s: %w", jpath, err)
+		}
+		d.w.f = f
+		d.w.size = int64(len(jdata))
+	}
+	d.w.base = base
+	d.w.records = int64(len(records))
+
+	// 5. Attach: from here on every Store mutation is journaled first.
+	s.wal = d.w
+	d.Store = s
+
+	if d.w.notify != nil || opt.Fsync == FsyncInterval {
+		d.stop = make(chan struct{})
+		d.loopDone = make(chan struct{})
+		go d.run(opt.Fsync == FsyncInterval, opt.FsyncInterval)
+	}
+	return d, nil
+}
+
+// run is the background loop: auto-compaction on the size-threshold
+// signal, and the interval-policy fsync ticker.
+func (d *Durable) run(tick bool, interval time.Duration) {
+	defer close(d.loopDone)
+	var tickC <-chan time.Time
+	if tick {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		tickC = t.C
+	}
+	notify := d.w.notify
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-notify:
+			// Best-effort: a failed auto-compaction (disk full, say)
+			// leaves the journal growing but intact; the next threshold
+			// crossing retries, and mutations keep journaling.
+			d.Compact()
+		case <-tickC:
+			d.w.syncIfDirty()
+		}
+	}
+}
+
+// Recovery reports what OpenDurable found and did.
+func (d *Durable) Recovery() RecoveryInfo { return d.recovery }
+
+// Info snapshots the journal's durability counters.
+func (d *Durable) Info() DurabilityInfo {
+	d.w.mu.Lock()
+	policy := d.w.policy.String()
+	if d.w.policy == FsyncInterval {
+		policy = fmt.Sprintf("interval(%s)", d.w.interval)
+	}
+	info := DurabilityInfo{
+		JournalPath:  d.w.path,
+		Policy:       policy,
+		JournalBytes: d.w.size,
+		Records:      d.w.records,
+		Appends:      d.w.appends,
+		Syncs:        d.w.syncs,
+	}
+	d.w.mu.Unlock()
+	info.Compactions = d.compactions.Load()
+	info.Recovery = d.recovery
+	return info
+}
+
+// Compact folds the journal into a fresh snapshot: encode the store
+// under a read lock (capturing the journal cut the snapshot covers),
+// write it atomically, then rewrite the journal without the folded
+// prefix. Records appended during the snapshot write are carried into
+// the rewritten journal. A crash at any point leaves a recoverable
+// pair: before the snapshot rename the old snapshot+journal are
+// intact; between the rename and the journal rewrite, recovery
+// replays already-folded records over the new snapshot, which is a
+// no-op by replay idempotence. When the journal is empty and a
+// snapshot exists, Compact does nothing.
+func (d *Durable) Compact() error {
+	d.compactMu.Lock()
+	defer d.compactMu.Unlock()
+	d.Store.mu.RLock()
+	_, recs, cut := d.w.position()
+	if recs == 0 && d.haveSnap {
+		d.Store.mu.RUnlock()
+		return nil
+	}
+	data, err := d.Store.encodeSnapshot()
+	d.Store.mu.RUnlock()
+	if err != nil {
+		return fmt.Errorf("relstore: compact: %w", err)
+	}
+	if err := writeAtomicFS(d.fs, d.path, data); err != nil {
+		return fmt.Errorf("relstore: compact: %w", err)
+	}
+	d.haveSnap = true
+	if err := d.w.truncateTo(cut, recs); err != nil {
+		return err
+	}
+	d.compactions.Add(1)
+	return nil
+}
+
+// Close stops the background loop, syncs, and closes the journal.
+// Further mutations on the store fail; reads keep working. Close does
+// not compact — callers that want a fresh snapshot (icdbd's shutdown
+// drain) call Compact first.
+func (d *Durable) Close() error {
+	d.closeOnce.Do(func() {
+		if d.stop != nil {
+			close(d.stop)
+			<-d.loopDone
+		}
+		d.closeErr = d.w.close()
+	})
+	return d.closeErr
+}
+
+// --- record encoding -------------------------------------------------
+
+// logWAL builds one record payload and appends it to the journal; a
+// Store without a journal attached skips it for free. Callers hold the
+// store write lock and call logWAL after validating the mutation and
+// before applying it (write-ahead ordering).
+func (s *Store) logWAL(build func(w *snapWriter)) error {
+	if s.wal == nil {
+		return nil
+	}
+	var buf bytes.Buffer
+	w := &snapWriter{buf: &buf}
+	build(w)
+	return s.wal.append(buf.Bytes())
+}
+
+// walValue writes one canonical scalar with its type tag.
+func walValue(w *snapWriter, v any) {
+	switch v := v.(type) {
+	case string:
+		w.u8(walValString)
+		w.str(v)
+	case int:
+		w.u8(walValInt)
+		w.u64(uint64(int64(v)))
+	case float64:
+		w.u8(walValFloat)
+		w.u64(math.Float64bits(v))
+	case bool:
+		w.u8(walValBool)
+		b := uint8(0)
+		if v {
+			b = 1
+		}
+		w.u8(b)
+	default:
+		// Unreachable: rows are canonicalized before encoding. Encode a
+		// rendered string so the record stays parseable either way.
+		w.u8(walValString)
+		w.str(fmt.Sprintf("%v", v))
+	}
+}
+
+// walRow writes a canonical row in schema column order.
+func walRow(w *snapWriter, t *table, r Row) {
+	w.u32(uint32(len(t.schema.Columns)))
+	for _, c := range t.schema.Columns {
+		w.str(c.Name)
+		walValue(w, r[c.Name])
+	}
+}
+
+// walKey writes a row's primary-key values in Schema.Key order.
+func walKey(w *snapWriter, t *table, r Row) {
+	w.u32(uint32(len(t.schema.Key)))
+	for _, k := range t.schema.Key {
+		walValue(w, r[k])
+	}
+}
+
+// walSchema writes a Schema, mirroring the snapshot section header.
+func walSchema(w *snapWriter, sc Schema) {
+	w.str(sc.Table)
+	w.u32(uint32(len(sc.Columns)))
+	for _, c := range sc.Columns {
+		w.str(c.Name)
+		w.u8(uint8(c.Type))
+	}
+	w.u32(uint32(len(sc.Key)))
+	for _, k := range sc.Key {
+		w.str(k)
+	}
+	w.u32(uint32(len(sc.Indexes)))
+	for _, ix := range sc.Indexes {
+		w.u32(uint32(len(ix.Columns)))
+		for _, c := range ix.Columns {
+			w.str(c)
+		}
+	}
+}
+
+// --- record decoding and replay --------------------------------------
+
+func readWALValue(r *snapReader) any {
+	switch tag := r.u8(); tag {
+	case walValString:
+		return r.str()
+	case walValInt:
+		return int(int64(r.u64()))
+	case walValFloat:
+		return math.Float64frombits(r.u64())
+	case walValBool:
+		return r.u8() != 0
+	default:
+		if r.err == nil {
+			r.err = fmt.Errorf("unknown value tag %d at offset %d", tag, r.off-1)
+		}
+		return nil
+	}
+}
+
+func readWALRow(r *snapReader) Row {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || n > len(r.b) {
+		return nil
+	}
+	row := make(Row, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		name := r.str()
+		row[name] = readWALValue(r)
+	}
+	return row
+}
+
+func readWALKey(r *snapReader) []any {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || n > len(r.b) {
+		return nil
+	}
+	vals := make([]any, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		vals[i] = readWALValue(r)
+	}
+	return vals
+}
+
+func readWALSchema(r *snapReader) Schema {
+	sc := Schema{Table: r.str()}
+	nCols := int(r.u32())
+	for i := 0; i < nCols && r.err == nil; i++ {
+		sc.Columns = append(sc.Columns, Column{Name: r.str(), Type: ColType(r.u8())})
+	}
+	nKey := int(r.u32())
+	for i := 0; i < nKey && r.err == nil; i++ {
+		sc.Key = append(sc.Key, r.str())
+	}
+	nIdx := int(r.u32())
+	for i := 0; i < nIdx && r.err == nil; i++ {
+		nc := int(r.u32())
+		var cols []string
+		for j := 0; j < nc && r.err == nil; j++ {
+			cols = append(cols, r.str())
+		}
+		sc.Indexes = append(sc.Indexes, Index{Columns: cols})
+	}
+	return sc
+}
+
+// keyOfVals renders decoded key values into the key-index string,
+// matching keyOf on a stored row.
+func keyOfVals(vals []any) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = renderKeyPart(v)
+	}
+	return strings.Join(parts, "\x00")
+}
+
+// applyWALRecord replays one journal record onto a store that has no
+// journal attached yet (replay must not re-journal). Replay is
+// exactly-once — the LSN skip in OpenDurable guarantees the store is
+// in precisely the state that preceded this record — so every replay
+// path is strict: a record that does not apply cleanly means the
+// snapshot/journal pair is inconsistent, and recovery fails loudly
+// rather than guessing.
+func (s *Store) applyWALRecord(payload []byte) error {
+	r := &snapReader{b: payload, s: string(payload)}
+	op := r.u8()
+	switch op {
+	case walOpCreateTable:
+		sc := readWALSchema(r)
+		if r.err != nil {
+			return r.err
+		}
+		return s.CreateTable(sc)
+	case walOpCreateIndex:
+		name := r.str()
+		nc := int(r.u32())
+		var cols []string
+		for i := 0; i < nc && r.err == nil; i++ {
+			cols = append(cols, r.str())
+		}
+		if r.err != nil {
+			return r.err
+		}
+		return s.CreateIndex(name, cols...)
+	case walOpDropTable:
+		name := r.str()
+		if r.err != nil {
+			return r.err
+		}
+		return s.DropTable(name)
+	case walOpInsert:
+		name := r.str()
+		row := readWALRow(r)
+		if r.err != nil {
+			return r.err
+		}
+		return s.Insert(name, row)
+	case walOpUpsert:
+		name := r.str()
+		row := readWALRow(r)
+		if r.err != nil {
+			return r.err
+		}
+		return s.Upsert(name, row)
+	case walOpUpdate:
+		name := r.str()
+		n := int(r.u32())
+		if r.err != nil || n < 0 || n > len(payload) {
+			return fmt.Errorf("malformed update batch")
+		}
+		type pair struct {
+			oldKey []any
+			row    Row
+		}
+		pairs := make([]pair, 0, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			k := readWALKey(r)
+			row := readWALRow(r)
+			pairs = append(pairs, pair{oldKey: k, row: row})
+		}
+		if r.err != nil {
+			return r.err
+		}
+		oldKeys := make([]string, len(pairs))
+		rows := make([]Row, len(pairs))
+		for i, p := range pairs {
+			oldKeys[i] = keyOfVals(p.oldKey)
+			rows[i] = p.row
+		}
+		return s.replayUpdateBatch(name, oldKeys, rows)
+	case walOpDelete:
+		name := r.str()
+		n := int(r.u32())
+		if r.err != nil || n < 0 || n > len(payload) {
+			return fmt.Errorf("malformed delete batch")
+		}
+		keys := make([]string, 0, n)
+		for i := 0; i < n && r.err == nil; i++ {
+			keys = append(keys, keyOfVals(readWALKey(r)))
+		}
+		if r.err != nil {
+			return r.err
+		}
+		return s.replayDeleteBatch(name, keys)
+	default:
+		return fmt.Errorf("unknown opcode %d", op)
+	}
+}
+
+// replayUpdateBatch re-applies one Update record: every row is
+// addressed by its old primary key (rowids are not stable across a
+// snapshot reload) and updated in place, keeping its rowid and so its
+// scan position, with the same two-phase key-index rebuild as Update
+// so key permutations replay. Replay is exactly-once, so every old
+// key must resolve.
+func (s *Store) replayUpdateBatch(name string, oldKeys []string, rows []Row) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[name]
+	if !ok {
+		return fmt.Errorf("no table %q", name)
+	}
+	d := t.data
+	type change struct {
+		id int64
+		nr Row
+	}
+	var changes []change
+	for i, row := range rows {
+		if err := t.checkRow(row); err != nil {
+			return err
+		}
+		nr := t.canon(row)
+		id, ok := d.keyIndex[oldKeys[i]]
+		if !ok {
+			return fmt.Errorf("update record references missing row (key %q)", keyValues(oldKeys[i]))
+		}
+		changes = append(changes, change{id: id, nr: nr})
+	}
+	if len(changes) == 0 {
+		return nil
+	}
+	wd := t.writable()
+	newKeys := make(map[string]int64, len(wd.keyIndex))
+	for k, v := range wd.keyIndex {
+		newKeys[k] = v
+	}
+	for _, c := range changes {
+		delete(newKeys, t.keyOf(wd.rows[c.id]))
+	}
+	for _, c := range changes {
+		k := t.keyOf(c.nr)
+		if _, conflict := newKeys[k]; conflict {
+			return fmt.Errorf("update record creates duplicate key %v", keyValues(k))
+		}
+		newKeys[k] = c.id
+	}
+	for _, c := range changes {
+		wd.indexRemove(c.id, wd.rows[c.id])
+		wd.rows[c.id] = c.nr
+		wd.indexAdd(c.id, c.nr)
+	}
+	wd.keyIndex = newKeys
+	return nil
+}
+
+// replayDeleteBatch re-applies one Delete record by key. Replay is
+// exactly-once, so every key must resolve.
+func (s *Store) replayDeleteBatch(name string, keys []string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tables[name]
+	if !ok {
+		return fmt.Errorf("no table %q", name)
+	}
+	var victims []int64
+	for _, k := range keys {
+		id, ok := t.data.keyIndex[k]
+		if !ok {
+			return fmt.Errorf("delete record references missing row (key %q)", keyValues(k))
+		}
+		victims = append(victims, id)
+	}
+	if len(victims) == 0 {
+		return nil
+	}
+	wd := t.writable()
+	removed := make(map[int64]bool, len(victims))
+	for _, id := range victims {
+		r := wd.rows[id]
+		delete(wd.keyIndex, t.keyOf(r))
+		wd.indexRemove(id, r)
+		delete(wd.rows, id)
+		removed[id] = true
+	}
+	live := wd.ids[:0]
+	for _, id := range wd.ids {
+		if !removed[id] {
+			live = append(live, id)
+		}
+	}
+	wd.ids = live
+	return nil
+}

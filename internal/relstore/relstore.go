@@ -219,6 +219,38 @@ func (t *table) writable() *tableData {
 type Store struct {
 	mu     sync.RWMutex
 	tables map[string]*table
+
+	// gen counts effective mutations (see Generation). It is bumped
+	// under the write lock, after a mutation applies.
+	gen atomic.Uint64
+	// wal, when non-nil, is the write-ahead journal a Durable store
+	// attached (journal.go): every mutator appends its record — under
+	// the write lock, after validation, before applying — so the
+	// journal is always a prefix-consistent log of the applied state.
+	wal *wal
+}
+
+// Generation returns a counter that increments on every effective
+// mutation (insert, delete, schema change, or a row actually changing
+// value — an Upsert or Update that rewrites a row with identical
+// values does not count). Callers use it to skip no-op saves: an
+// unchanged Generation since the last durable point means the on-disk
+// state is already current.
+func (s *Store) Generation() uint64 { return s.gen.Load() }
+
+// rowsEqual reports whether two canonical rows hold identical values.
+// Canonical values are comparable scalars (string, int, float64,
+// bool), so interface equality is exact.
+func rowsEqual(a, b Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if bv, ok := b[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
 }
 
 // New creates an empty store.
@@ -283,13 +315,23 @@ func (s *Store) CreateTable(sc Schema) error {
 			return err
 		}
 	}
+	if s.wal != nil && len(sc.Key) == 0 {
+		return fmt.Errorf("relstore: table %q has no primary key; journaled stores require keyed tables", sc.Table)
+	}
+	if err := s.logWAL(func(w *snapWriter) {
+		w.u8(walOpCreateTable)
+		walSchema(w, sc)
+	}); err != nil {
+		return err
+	}
 	s.tables[sc.Table] = t
+	s.gen.Add(1)
 	return nil
 }
 
-// addIndex validates and attaches one secondary index to d (empty, the
-// caller backfills when the table already has rows).
-func (t *table) addIndex(d *tableData, cols []string) error {
+// checkIndex validates one secondary-index declaration against d
+// without attaching anything.
+func (t *table) checkIndex(d *tableData, cols []string) error {
 	if len(cols) == 0 {
 		return fmt.Errorf("relstore: table %q: index over no columns", t.schema.Table)
 	}
@@ -308,6 +350,15 @@ func (t *table) addIndex(d *tableData, cols []string) error {
 			return fmt.Errorf("relstore: table %q already has an index on %v", t.schema.Table, cols)
 		}
 	}
+	return nil
+}
+
+// addIndex validates and attaches one secondary index to d (empty, the
+// caller backfills when the table already has rows).
+func (t *table) addIndex(d *tableData, cols []string) error {
+	if err := t.checkIndex(d, cols); err != nil {
+		return err
+	}
 	d.indexes = append(d.indexes, &secIndex{
 		cols:     append([]string(nil), cols...),
 		postings: make(map[string][]int64),
@@ -325,6 +376,21 @@ func (s *Store) CreateIndex(tableName string, cols ...string) error {
 	if !ok {
 		return fmt.Errorf("relstore: no table %q", tableName)
 	}
+	// Validate before journaling or touching live data: a journaled
+	// record must always be appliable.
+	if err := t.checkIndex(t.data, cols); err != nil {
+		return err
+	}
+	if err := s.logWAL(func(w *snapWriter) {
+		w.u8(walOpCreateIndex)
+		w.str(tableName)
+		w.u32(uint32(len(cols)))
+		for _, c := range cols {
+			w.str(c)
+		}
+	}); err != nil {
+		return err
+	}
 	d := t.writable()
 	if err := t.addIndex(d, cols); err != nil {
 		return err
@@ -336,6 +402,7 @@ func (s *Store) CreateIndex(tableName string, cols ...string) error {
 	}
 	// Record the index in the schema so Save/Load round-trips rebuild it.
 	t.schema.Indexes = append(t.schema.Indexes, Index{Columns: append([]string(nil), cols...)})
+	s.gen.Add(1)
 	return nil
 }
 
@@ -347,7 +414,14 @@ func (s *Store) DropTable(name string) error {
 	if _, ok := s.tables[name]; !ok {
 		return fmt.Errorf("relstore: no table %q", name)
 	}
+	if err := s.logWAL(func(w *snapWriter) {
+		w.u8(walOpDropTable)
+		w.str(name)
+	}); err != nil {
+		return err
+	}
 	delete(s.tables, name)
+	s.gen.Add(1)
 	return nil
 }
 
@@ -550,18 +624,29 @@ func (s *Store) Insert(tableName string, r Row) error {
 	// stored representation (float32 key values would otherwise index
 	// under a different string than the stored float64 reproduces).
 	cr := t.canon(r)
-	d := t.writable()
+	var k string
 	if len(t.schema.Key) > 0 {
-		k := t.keyOf(cr)
-		if _, conflict := d.keyIndex[k]; conflict {
+		k = t.keyOf(cr)
+		if _, conflict := t.data.keyIndex[k]; conflict {
 			return fmt.Errorf("relstore: table %q duplicate key %v=%q", tableName, t.schema.Key, keyValues(k))
 		}
+	}
+	if err := s.logWAL(func(w *snapWriter) {
+		w.u8(walOpInsert)
+		w.str(tableName)
+		walRow(w, t, cr)
+	}); err != nil {
+		return err
+	}
+	d := t.writable()
+	if len(t.schema.Key) > 0 {
 		d.keyIndex[k] = t.nextID
 	}
 	d.rows[t.nextID] = cr
 	d.ids = append(d.ids, t.nextID)
 	d.indexAdd(t.nextID, cr)
 	t.nextID++
+	s.gen.Add(1)
 	return nil
 }
 
@@ -583,11 +668,25 @@ func (s *Store) Upsert(tableName string, r Row) error {
 	}
 	cr := t.canon(r)
 	k := t.keyOf(cr)
+	// A value-identical replacement is a no-op: nothing to journal, no
+	// generation bump — so re-seeding an unchanged catalog on open
+	// stays journal-silent and save-skippable.
+	if id, exists := t.data.keyIndex[k]; exists && rowsEqual(t.data.rows[id], cr) {
+		return nil
+	}
+	if err := s.logWAL(func(w *snapWriter) {
+		w.u8(walOpUpsert)
+		w.str(tableName)
+		walRow(w, t, cr)
+	}); err != nil {
+		return err
+	}
 	d := t.writable()
 	if id, exists := d.keyIndex[k]; exists {
 		d.indexRemove(id, d.rows[id])
 		d.rows[id] = cr
 		d.indexAdd(id, cr)
+		s.gen.Add(1)
 		return nil
 	}
 	d.keyIndex[k] = t.nextID
@@ -595,6 +694,7 @@ func (s *Store) Upsert(tableName string, r Row) error {
 	d.ids = append(d.ids, t.nextID)
 	d.indexAdd(t.nextID, cr)
 	t.nextID++
+	s.gen.Add(1)
 	return nil
 }
 
@@ -721,15 +821,16 @@ func (s *Store) Update(tableName string, p Pred, fn func(Row) Row) (int, error) 
 	if !ok {
 		return 0, fmt.Errorf("relstore: no table %q", tableName)
 	}
-	d := t.writable()
+	d := t.data
 	ids, verify := t.plan(d, p)
 	// Validate every change against a scratch key index before applying
-	// anything, so a mid-scan conflict cannot leave partial updates.
+	// (or journaling) anything, so a mid-scan conflict cannot leave
+	// partial updates or an unappliable journal record.
 	type change struct {
 		id int64
 		nr Row
 	}
-	var changes []change
+	var changes, eff []change
 	for _, id := range ids {
 		r := d.rows[id]
 		if verify && !p.Match(r) {
@@ -739,21 +840,30 @@ func (s *Store) Update(tableName string, p Pred, fn func(Row) Row) (int, error) 
 		if err := t.checkRow(nr); err != nil {
 			return 0, err
 		}
-		changes = append(changes, change{id: id, nr: t.canon(nr)})
+		c := change{id: id, nr: t.canon(nr)}
+		changes = append(changes, c)
+		// Value-identical rewrites are no-ops: not journaled, not
+		// applied, no generation bump — but still counted in the
+		// return value, which reports rows matched and processed.
+		if !rowsEqual(r, c.nr) {
+			eff = append(eff, c)
+		}
 	}
 	// Rebuild the key index in two phases — drop every changed row's old
 	// key, then claim the new ones — so key permutations (a<->b swaps)
 	// are legal and any genuine conflict is detected before mutation.
+	// Only effective changes can move keys (a no-op keeps its row, and
+	// so its key, verbatim).
 	newKeys := d.keyIndex
-	if len(t.schema.Key) > 0 {
+	if len(t.schema.Key) > 0 && len(eff) > 0 {
 		newKeys = make(map[string]int64, len(d.keyIndex))
 		for k, v := range d.keyIndex {
 			newKeys[k] = v
 		}
-		for _, c := range changes {
+		for _, c := range eff {
 			delete(newKeys, t.keyOf(d.rows[c.id]))
 		}
-		for _, c := range changes {
+		for _, c := range eff {
 			k := t.keyOf(c.nr)
 			if _, conflict := newKeys[k]; conflict {
 				return 0, fmt.Errorf("relstore: table %q update creates duplicate key %v", tableName, keyValues(k))
@@ -761,12 +871,34 @@ func (s *Store) Update(tableName string, p Pred, fn func(Row) Row) (int, error) 
 			newKeys[k] = c.id
 		}
 	}
-	for _, c := range changes {
-		d.indexRemove(c.id, d.rows[c.id])
-		d.rows[c.id] = c.nr
-		d.indexAdd(c.id, c.nr)
+	if len(eff) == 0 {
+		return len(changes), nil
 	}
-	d.keyIndex = newKeys
+	// One record for the whole batch: the update is atomic in memory,
+	// so it must be atomic in the journal (recovery never applies a
+	// partial transaction). Old keys address the rows; the new rows are
+	// absolute values, which is what makes replay idempotent.
+	if err := s.logWAL(func(w *snapWriter) {
+		w.u8(walOpUpdate)
+		w.str(tableName)
+		w.u32(uint32(len(eff)))
+		for _, c := range eff {
+			walKey(w, t, d.rows[c.id])
+			walRow(w, t, c.nr)
+		}
+	}); err != nil {
+		return 0, err
+	}
+	wd := t.writable()
+	for _, c := range eff {
+		wd.indexRemove(c.id, wd.rows[c.id])
+		wd.rows[c.id] = c.nr
+		wd.indexAdd(c.id, c.nr)
+	}
+	if len(t.schema.Key) > 0 {
+		wd.keyIndex = newKeys
+	}
+	s.gen.Add(1)
 	return len(changes), nil
 }
 
@@ -785,30 +917,50 @@ func (s *Store) Delete(tableName string, p Pred) (int, error) {
 	if !ok {
 		return 0, fmt.Errorf("relstore: no table %q", tableName)
 	}
-	d := t.writable()
+	d := t.data
 	ids, verify := t.plan(d, p)
-	// The plan may alias internal index state; copy before mutating it.
+	// The plan may alias internal index state; copy before iterating
+	// while mutating.
 	candidates := append([]int64(nil), ids...)
-	removed := make(map[int64]bool)
+	var victims []int64
 	for _, id := range candidates {
-		r := d.rows[id]
-		if verify && !p.Match(r) {
+		if verify && !p.Match(d.rows[id]) {
 			continue
 		}
-		delete(d.keyIndex, t.keyOf(r))
-		d.indexRemove(id, r)
-		delete(d.rows, id)
+		victims = append(victims, id)
+	}
+	if len(victims) == 0 {
+		return 0, nil
+	}
+	// One record for the whole batch, addressed by primary key (rowids
+	// are not stable across a snapshot reload).
+	if err := s.logWAL(func(w *snapWriter) {
+		w.u8(walOpDelete)
+		w.str(tableName)
+		w.u32(uint32(len(victims)))
+		for _, id := range victims {
+			walKey(w, t, d.rows[id])
+		}
+	}); err != nil {
+		return 0, err
+	}
+	wd := t.writable()
+	removed := make(map[int64]bool, len(victims))
+	for _, id := range victims {
+		r := wd.rows[id]
+		delete(wd.keyIndex, t.keyOf(r))
+		wd.indexRemove(id, r)
+		delete(wd.rows, id)
 		removed[id] = true
 	}
-	if len(removed) > 0 {
-		live := d.ids[:0]
-		for _, id := range d.ids {
-			if !removed[id] {
-				live = append(live, id)
-			}
+	live := wd.ids[:0]
+	for _, id := range wd.ids {
+		if !removed[id] {
+			live = append(live, id)
 		}
-		d.ids = live
 	}
+	wd.ids = live
+	s.gen.Add(1)
 	return len(removed), nil
 }
 
@@ -877,7 +1029,7 @@ func Load(path string) (*Store, error) {
 		return nil, fmt.Errorf("relstore: load: %w", err)
 	}
 	if IsSnapshot(data) {
-		s, err := decodeSnapshot(data)
+		s, _, err := decodeSnapshot(data)
 		if err != nil {
 			return nil, fmt.Errorf("relstore: load snapshot %s: %w", path, err)
 		}

@@ -31,14 +31,17 @@ const (
 	// snapMagic opens every binary snapshot; Load sniffs it to pick the
 	// decoder, so it must never be valid leading JSON.
 	snapMagic = "ICDBSNAP"
-	// snapVersion is the current format version. Readers reject any other
-	// value: the format is versioned, not self-describing beyond the
-	// schema header (see SNAPSHOT.md for the compatibility policy).
-	// Version history: 1 = PR 3 layout; 2 = the same wire layout with the
-	// generators and estimators relations present as sections. A v1 file
-	// necessarily lacks them, so a v2 reader rejects it outright — the
-	// JSON format remains the cross-version compatibility path.
-	snapVersion = 2
+	// snapVersion is the current format version. Readers reject versions
+	// they cannot decode: the format is versioned, not self-describing
+	// beyond the schema header (see SNAPSHOT.md for the compatibility
+	// policy). Version history: 1 = PR 3 layout; 2 = the same wire layout
+	// with the generators and estimators relations present as sections
+	// (a v1 file necessarily lacks them, so readers reject it outright —
+	// the JSON format remains the cross-version compatibility path);
+	// 3 = PR 8, a u64 covered-LSN field between the version and the
+	// table count, stamping which journal records the snapshot already
+	// folds in. A v3 reader still accepts v2 (covered LSN zero).
+	snapVersion = 3
 	// snapTrailerLen is the CRC-32C trailer size.
 	snapTrailerLen = 4
 )
@@ -73,8 +76,17 @@ func (s *Store) SaveSnapshot(path string) error {
 	return writeFileAtomic(path, data)
 }
 
-// encodeSnapshot renders the store under the read lock.
+// encodeSnapshot renders the store under the read lock. The covered-LSN
+// header field is the journal position when a journal is attached
+// (appends hold the write lock, so the position is consistent with the
+// encoded rows) and zero otherwise — a plain store has no journal to
+// cover.
 func (s *Store) encodeSnapshot() ([]byte, error) {
+	var lsn uint64
+	if s.wal != nil {
+		base, records, _ := s.wal.position()
+		lsn = uint64(base + records)
+	}
 	names := make([]string, 0, len(s.tables))
 	for n := range s.tables {
 		names = append(names, n)
@@ -92,6 +104,7 @@ func (s *Store) encodeSnapshot() ([]byte, error) {
 	w := &snapWriter{buf: &buf}
 	w.raw([]byte(snapMagic))
 	w.u32(snapVersion)
+	w.u64(lsn)
 	w.u32(uint32(len(names)))
 	for _, n := range names {
 		if err := s.tables[n].encodeSection(w); err != nil {
@@ -216,30 +229,33 @@ func LoadSnapshot(path string) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("relstore: load snapshot: %w", err)
 	}
-	s, err := decodeSnapshot(data)
+	s, _, err := decodeSnapshot(data)
 	if err != nil {
 		return nil, fmt.Errorf("relstore: load snapshot %s: %w", path, err)
 	}
 	return s, nil
 }
 
-func decodeSnapshot(data []byte) (*Store, error) {
+// decodeSnapshot decodes a snapshot and its covered LSN — the journal
+// sequence number up to which (exclusive) the snapshot already reflects
+// every record. Version-2 files predate the field and cover nothing.
+func decodeSnapshot(data []byte) (*Store, uint64, error) {
 	if len(data) < snapHeaderLen+4+snapTrailerLen {
-		return nil, fmt.Errorf("%d-byte file is too short to be a snapshot (truncated?)", len(data))
+		return nil, 0, fmt.Errorf("%d-byte file is too short to be a snapshot (truncated?)", len(data))
 	}
 	if !IsSnapshot(data) {
-		return nil, fmt.Errorf("bad magic %q (not a binary snapshot)", data[:len(snapMagic)])
+		return nil, 0, fmt.Errorf("bad magic %q (not a binary snapshot)", data[:len(snapMagic)])
 	}
 	// Version before checksum: a future format may change anything past
 	// the header (including the trailer), so "unsupported version" must
 	// win over a misleading "checksum mismatch".
 	version := binary.LittleEndian.Uint32(data[len(snapMagic):snapHeaderLen])
-	if version != snapVersion {
-		return nil, fmt.Errorf("unsupported snapshot version %d (this build reads version %d)", version, snapVersion)
+	if version != 2 && version != snapVersion {
+		return nil, 0, fmt.Errorf("unsupported snapshot version %d (this build reads versions 2-%d)", version, snapVersion)
 	}
 	body, trailer := data[:len(data)-snapTrailerLen], data[len(data)-snapTrailerLen:]
 	if sum := crc32.Checksum(body, snapCRC); sum != binary.LittleEndian.Uint32(trailer) {
-		return nil, fmt.Errorf("checksum mismatch (want %08x, file carries %08x): snapshot is corrupted or truncated",
+		return nil, 0, fmt.Errorf("checksum mismatch (want %08x, file carries %08x): snapshot is corrupted or truncated",
 			sum, binary.LittleEndian.Uint32(trailer))
 	}
 	// One copy of the payload as a string: every decoded string value is
@@ -248,21 +264,25 @@ func decodeSnapshot(data []byte) (*Store, error) {
 	// store's lifetime, which costs only the encoding overhead — the
 	// string data itself would be resident either way.
 	r := &snapReader{b: body[snapHeaderLen:], s: string(body[snapHeaderLen:])}
+	var lsn uint64
+	if version >= 3 {
+		lsn = r.u64()
+	}
 	nTables := int(r.u32())
 	s := New()
 	boxes := newBoxCache()
 	for i := 0; i < nTables && r.err == nil; i++ {
 		if err := s.decodeTableSection(r, boxes); err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 	}
 	if r.err != nil {
-		return nil, r.err
+		return nil, 0, r.err
 	}
 	if r.off != len(r.b) {
-		return nil, fmt.Errorf("%d byte(s) of trailing data after the last table section", len(r.b)-r.off)
+		return nil, 0, fmt.Errorf("%d byte(s) of trailing data after the last table section", len(r.b)-r.off)
 	}
-	return s, nil
+	return s, lsn, nil
 }
 
 // decodeTableSection decodes one table and bulk-builds its storage and

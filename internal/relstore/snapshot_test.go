@@ -247,7 +247,7 @@ func TestSnapshotRobustness(t *testing.T) {
 		t.Fatal(err)
 	}
 	load := func(b []byte) error {
-		_, err := decodeSnapshot(b)
+		_, _, err := decodeSnapshot(b)
 		return err
 	}
 
@@ -290,8 +290,28 @@ func TestSnapshotRobustness(t *testing.T) {
 		if err == nil || !strings.Contains(err.Error(), "unsupported snapshot version 1") {
 			t.Fatalf("v1 snapshot: %v, want unsupported-version error", err)
 		}
-		if !strings.Contains(err.Error(), "reads version 2") {
-			t.Errorf("v1 snapshot error %v does not name the supported version", err)
+		if !strings.Contains(err.Error(), "reads versions 2-3") {
+			t.Errorf("v1 snapshot error %v does not name the supported versions", err)
+		}
+	})
+	t.Run("v2 snapshot accepted", func(t *testing.T) {
+		// A version-2 file predates the covered-LSN header field but is
+		// otherwise the same layout; a v3 reader accepts it with covered
+		// LSN zero instead of forcing a JSON migration.
+		old := append([]byte(nil), data[:12]...)
+		old = append(old, data[20:len(data)-4]...) // drop the LSN field
+		binary.LittleEndian.PutUint32(old[8:], 2)
+		old = append(old, 0, 0, 0, 0)
+		binary.LittleEndian.PutUint32(old[len(old)-4:], crcOf(old[:len(old)-4]))
+		s2, lsn, err := decodeSnapshot(old)
+		if err != nil {
+			t.Fatalf("v2 snapshot rejected: %v", err)
+		}
+		if lsn != 0 {
+			t.Errorf("v2 snapshot decoded with covered LSN %d, want 0", lsn)
+		}
+		if len(s2.Tables()) != len(s.Tables()) {
+			t.Errorf("v2 snapshot decoded %d tables, want %d", len(s2.Tables()), len(s.Tables()))
 		}
 	})
 	t.Run("corrupted byte", func(t *testing.T) {
@@ -383,6 +403,7 @@ func buildForgedSnapshot(t *testing.T, fill func(*snapWriter)) []byte {
 	w := &snapWriter{buf: &buf}
 	w.raw([]byte(snapMagic))
 	w.u32(snapVersion)
+	w.u64(0) // covered LSN
 	w.u32(1)
 	fill(w)
 	var trailer [4]byte

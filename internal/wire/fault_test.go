@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"icdb/internal/icdb"
+	"icdb/internal/relstore"
 	"icdb/internal/wire/faultconn"
 )
 
@@ -750,6 +751,39 @@ func TestShowServerEndToEnd(t *testing.T) {
 		"session_rows=1000",
 		"idle=1m0s",
 		"max_conns=off",
+		"durability:   snapshot-only (no journal)",
+	} {
+		if !strings.Contains(info, want) {
+			t.Errorf("show server output missing %q:\n%s", want, info)
+		}
+	}
+}
+
+// TestShowServerJournalDurability: with the Durability hook installed
+// (as icdbd -journal does), "show server" reports the journal state
+// and recovery outcome.
+func TestShowServerJournalDurability(t *testing.T) {
+	db := openDB(t)
+	durability := func() relstore.DurabilityInfo {
+		return relstore.DurabilityInfo{
+			JournalPath:  "cat.snap.wal",
+			Policy:       "always",
+			JournalBytes: 4096,
+			Records:      7,
+			Compactions:  2,
+			Recovery:     relstore.RecoveryInfo{SnapshotLoaded: true, Replayed: 7, Truncated: true, TruncatedAt: 4096},
+		}
+	}
+	_, addr := startServerOpts(t, db, func(s *Server) { s.Durability = durability })
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	info := strings.Join(execLines(t, c, "show server"), "\n")
+	for _, want := range []string{
+		"durability:   journaled, fsync=always, 4096 byte(s) / 7 record(s) since last compaction, 2 compaction(s)",
+		"recovery:     truncated torn tail at offset 4096 (snapshot + 7 journal record(s))",
 	} {
 		if !strings.Contains(info, want) {
 			t.Errorf("show server output missing %q:\n%s", want, info)

@@ -16,6 +16,7 @@ import (
 
 	"icdb/internal/cql"
 	"icdb/internal/icdb"
+	"icdb/internal/relstore"
 )
 
 // Limits bounds what one client — or all of them together — may cost
@@ -96,6 +97,11 @@ type Server struct {
 	// before any command runs. v1 clients cannot authenticate and are
 	// rejected outright when a secret is set.
 	Secret string
+	// Durability, when non-nil, reports the backing store's journal
+	// state for "show server" (cmd/icdbd wires it to the Durable
+	// store's Info when running with -journal). Nil means the catalog
+	// is snapshot-only.
+	Durability func() relstore.DurabilityInfo
 
 	mu      sync.Mutex
 	ln      net.Listener
@@ -617,6 +623,14 @@ func (s *Server) serverInfo(w io.Writer) error {
 	fmt.Fprintf(w, "limits:       max_conns=%s session_commands=%s session_rows=%s idle=%s write=%s handshake=%s\n",
 		limitN(l.MaxConns), limitN(l.MaxSessionCommands), limitN(l.MaxSessionRows),
 		limitD(l.IdleTimeout), limitD(l.WriteTimeout), limitD(l.HandshakeTimeout))
+	if s.Durability != nil {
+		d := s.Durability()
+		fmt.Fprintf(w, "durability:   journaled, fsync=%s, %d byte(s) / %d record(s) since last compaction, %d compaction(s)\n",
+			d.Policy, d.JournalBytes, d.Records, d.Compactions)
+		fmt.Fprintf(w, "recovery:     %s\n", d.Recovery)
+	} else {
+		fmt.Fprintln(w, "durability:   snapshot-only (no journal)")
+	}
 	return nil
 }
 
