@@ -80,6 +80,7 @@ type benchReport struct {
 	WireBench      *wireBenchResult              `json:"wire_concurrent_clients,omitempty"`
 	WireBenchChaos *wireBenchResult              `json:"wire_concurrent_clients_chaos,omitempty"`
 	Journal        *journalBenchResult           `json:"journal,omitempty"`
+	Explore        []exploreBenchResult          `json:"explore,omitempty"`
 }
 
 func compare(name string, size int, baseline string, now, was benchMeasure) benchComparison {
@@ -108,6 +109,7 @@ func runBench(args []string) error {
 	jwrite := fs.Int("jwrite", 10000, "catalog size for the journal steady-state write scenario (0 disables the journal scenarios)")
 	jopen := fs.Int("jopen", 100000, "catalog size for the journal cold-open scenario")
 	jrecords := fs.Int("jrecords", 1000, "journal records replayed in the cold-open scenario")
+	explore := fs.Bool("explore", true, "run the design-space frontier scenario at each catalog size")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -309,6 +311,28 @@ func runBench(args []string) error {
 				}
 			}
 		})
+
+		// Design-space frontier scenario: an n-point exploration cloud
+		// recorded into the same catalog, with one full streamed
+		// "find pareto" (dominated points included) timed against the
+		// width-aware ordered query above — the ranked find path the
+		// frontier engine extends.
+		if *explore {
+			par, eb, err := runExploreBench(db, n, ordWidthM, measure)
+			if err != nil {
+				return fmt.Errorf("explore bench: %w", err)
+			}
+			report.Comparisons = append(report.Comparisons,
+				compare("find_pareto", n, "ordered find at the same catalog size", par, ordWidthM))
+			report.Measurements = append(report.Measurements, par)
+			report.Explore = append(report.Explore, *eb)
+			fmt.Fprintf(os.Stderr, "find_pareto n=%d: frontier %d/%d, %.2fx the ordered find\n",
+				n, eb.FrontierSize, eb.Points, eb.CostRatio)
+			if *guard && n == 10000 && eb.CostRatio > 5 {
+				return fmt.Errorf("bench guard: 10k-point find pareto (%.0f ns/op) is %.2fx the same-size ordered find (%.0f ns/op), want <= 5x",
+					eb.ParetoNsPerOp, eb.CostRatio, eb.OrderedFindNsPerOp)
+			}
+		}
 
 		// Release the source catalog before the load benchmarks: loading
 		// is the tool-startup path, and keeping a dead 100k-impl catalog

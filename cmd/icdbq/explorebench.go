@@ -1,0 +1,113 @@
+// explorebench.go implements the -explore scenario of "icdbq bench":
+// the design-space frontier engine measured against the ordered find it
+// extends. A synthetic exploration cloud of the catalog size is
+// recorded, then one full streamed "find pareto" over it is timed
+// against the width-aware ordered query at the same size — the guard
+// pins the frontier sweep to a small constant factor of the find path
+// it shares the store with.
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"icdb/internal/genus"
+	"icdb/internal/icdb"
+)
+
+// exploreBenchResult captures one catalog size's frontier scenario.
+type exploreBenchResult struct {
+	Size               int     `json:"size"`
+	Points             int     `json:"points"`
+	FrontierSize       int     `json:"frontier_size"`
+	ParetoNsPerOp      float64 `json:"pareto_ns_per_op"`
+	OrderedFindNsPerOp float64 `json:"ordered_find_ns_per_op"`
+	// CostRatio is pareto/ordered — the factor the dominance sweep adds
+	// over a plain ranked query of the same catalog size.
+	CostRatio float64 `json:"cost_ratio"`
+}
+
+// exploreBenchGen names the synthetic generator the cloud records
+// under, keeping the bench points out of any real generator's space.
+const exploreBenchGen = "gen_parcloud"
+
+// populateExplorations records n synthetic design points under one
+// generator. Widths, areas, and delays are spread by fixed mixers (the
+// benchgen idiom); the offsets decorrelate the two axes' minima so the
+// cloud has a non-trivial frontier instead of a single dominating
+// corner at i=0.
+func populateExplorations(db *icdb.DB, n int) error {
+	for i := 0; i < n; i++ {
+		err := db.RecordExploration(icdb.Exploration{
+			Generator: exploreBenchGen,
+			Bindings:  fmt.Sprintf("p=%d", i),
+			Component: genus.CompCounter,
+			Width:     1 + (i*5)%128,
+			Area:      float64(1 + (i*13+4567)%9973),
+			Delay:     float64(1 + (i*7+389)%997),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runExploreBench records an n-point cloud into db, times the streamed
+// frontier query, and pairs it with the ordered-find measurement taken
+// at the same size. The frontier is cross-validated against the O(n²)
+// dominance definition before any timing.
+func runExploreBench(db *icdb.DB, n int, ordered benchMeasure,
+	measure func(string, int, func(b *testing.B)) benchMeasure) (benchMeasure, *exploreBenchResult, error) {
+	if err := populateExplorations(db, n); err != nil {
+		return benchMeasure{}, nil, err
+	}
+	q := icdb.ParetoQuery{Generator: exploreBenchGen, Dominated: true}
+	frontier, err := db.ParetoFrontier(icdb.ParetoQuery{Generator: exploreBenchGen})
+	if err != nil {
+		return benchMeasure{}, nil, err
+	}
+	if len(frontier) == 0 {
+		return benchMeasure{}, nil, fmt.Errorf("explore bench: empty frontier over %d points", n)
+	}
+	pts := make([]icdb.Exploration, 0, n)
+	mask := make([]bool, 0, n)
+	if err := db.Pareto(q, func(p icdb.ParetoPoint) bool {
+		pts = append(pts, p.Exploration)
+		mask = append(mask, !p.Dominated)
+		return true
+	}); err != nil {
+		return benchMeasure{}, nil, err
+	}
+	if len(pts) != n {
+		return benchMeasure{}, nil, fmt.Errorf("explore bench: streamed %d of %d points", len(pts), n)
+	}
+	if err := icdb.CheckFrontier(pts, mask); err != nil {
+		return benchMeasure{}, nil, err
+	}
+
+	par := measure("find_pareto", n, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rows := 0
+			err := db.Pareto(q, func(icdb.ParetoPoint) bool {
+				rows++
+				return true
+			})
+			if err != nil || rows != n {
+				b.Fatal(err, rows)
+			}
+		}
+	})
+	res := &exploreBenchResult{
+		Size:               n,
+		Points:             n,
+		FrontierSize:       len(frontier),
+		ParetoNsPerOp:      par.NsPerOp,
+		OrderedFindNsPerOp: ordered.NsPerOp,
+	}
+	if ordered.NsPerOp > 0 {
+		res.CostRatio = par.NsPerOp / ordered.NsPerOp
+	}
+	return par, res, nil
+}

@@ -13,7 +13,7 @@
 //	icdbq expand <design.iif|-> [param=value...]
 //	icdbq generate <generator|component> param=value...
 //	icdbq estimate <impl> width=<bits> [area|delay|cost]
-//	icdbq bench [-sizes 1000,10000] [-out BENCH_PR8.json] [-benchtime 300ms] [-guard] [-conns 200] [-chaos] [-jwrite 10000] [-jopen 100000] [-jrecords 1000]
+//	icdbq bench [-sizes 1000,10000] [-out BENCH_PR9.json] [-benchtime 300ms] [-guard] [-conns 200] [-chaos] [-jwrite 10000] [-jopen 100000] [-jrecords 1000] [-explore]
 //
 // The usage lines above are generated from the command table in
 // usage.go and verified by TestDocCommentMatchesUsage; edit them there.

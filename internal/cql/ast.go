@@ -1,8 +1,8 @@
 package cql
 
 // Stmt is one parsed CQL command. The concrete types are FindStmt,
-// ShowStmt, DescribeStmt, ExpandStmt, GenerateStmt, EstimateStmt,
-// SetStmt, and HelpStmt.
+// ParetoStmt, ShowStmt, DescribeStmt, ExpandStmt, GenerateStmt,
+// EstimateStmt, ExploreStmt, SetStmt, and HelpStmt.
 type Stmt interface{ stmt() }
 
 // Word is an identifier-like token with its source column, kept through
@@ -69,6 +69,53 @@ type AtClause struct {
 	Width int
 	// Col is the width number's column, for positioned errors.
 	Col int
+}
+
+// ParetoStmt is a "find pareto ..." command: the non-dominated frontier
+// of the explored design points, optionally restricted to one component
+// type's or one generator's space and filtered by a "with" clause
+// before dominance is decided.
+type ParetoStmt struct {
+	// Type is the component type of an "of type X" clause, nil if absent.
+	Type *Word
+	// Generator is the generator name of an "of generator G" clause, nil
+	// if absent. The parser allows at most one of Type and Generator.
+	Generator *Word
+	// Where lists the "with" clause's conjunction of attribute
+	// comparisons, applied to each design point before dominance.
+	Where []Cond
+	// At is the "at width N" clause, nil if absent: it pins the frontier
+	// to points explored at exactly that width.
+	At *AtClause
+	// Dominated asks for dominated points too, each with its dominating
+	// frontier point and margins.
+	Dominated bool
+	// Limit is the "limit N" bound on printed rows; 0 means unlimited.
+	Limit int
+	// HasLimit distinguishes an absent limit clause from "limit 0".
+	HasLimit bool
+}
+
+// ExploreStmt is an "explore <generator> width <lo>..<hi> [step n]
+// [materialize] [param=value ...]" command: sweep a generator's "size"
+// parameter across a width range, recording each evaluated design point
+// (and registering an implementation per point when materializing).
+type ExploreStmt struct {
+	// Gen is the generator to sweep.
+	Gen Word
+	// Lo and Hi are the inclusive width bounds of the sweep.
+	Lo, Hi int
+	// RangeCol is the range's column, for positioned errors.
+	RangeCol int
+	// Step is the sweep stride; 0 means the "step" clause was absent
+	// (stride 1).
+	Step int
+	// Materialize runs Generate at every point instead of the estimators
+	// alone.
+	Materialize bool
+	// Params binds the generator's parameters other than the swept
+	// "size".
+	Params []ExpandParam
 }
 
 // ShowStmt is a "show impls|components|functions" catalog listing.
@@ -139,10 +186,12 @@ type SetStmt struct {
 type HelpStmt struct{}
 
 func (*FindStmt) stmt()     {}
+func (*ParetoStmt) stmt()   {}
 func (*ShowStmt) stmt()     {}
 func (*DescribeStmt) stmt() {}
 func (*ExpandStmt) stmt()   {}
 func (*GenerateStmt) stmt() {}
 func (*EstimateStmt) stmt() {}
+func (*ExploreStmt) stmt()  {}
 func (*SetStmt) stmt()      {}
 func (*HelpStmt) stmt()     {}

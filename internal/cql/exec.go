@@ -20,7 +20,12 @@ var HelpText = fmt.Sprintf(`CQL commands:
                  [at width <bits>]
                  [order by %s [asc|desc]]
                  [limit <n>]
-  show impls | components | functions | generators
+  find pareto [of type <Type> | of generator <G>]
+              [with <attr> <op> <n> and ...] [at width <bits>]
+              [dominated] [limit <n>]
+  explore <generator> width <lo>..<hi> [step <n>] [materialize]
+          [param=value ...]
+  show impls | components | functions | generators | explorations
   describe <impl>
   expand <file|-> [param=value ...]
   generate <generator|component> param=value ...
@@ -36,6 +41,11 @@ are the estimator expressions evaluated there (scalars when none is
 registered).
 Without "order by"/"limit", results stream in unspecified order; with
 either, they arrive ranked (default key: weighted cost, ascending).
+"explore" sweeps a generator's size across the width range, recording
+each design point; "materialize" also registers the implementations.
+"find pareto" streams the non-dominated frontier of the recorded
+points in ascending area order; "dominated" adds the beaten points,
+each naming the frontier point that dominates it and by how much.
 Session parameters: "set width" is the default evaluation point for
 find commands without an "at width" clause; the weight overrides
 rescore ranking for this session only. "show session" lists them.
@@ -84,6 +94,8 @@ func (env *Env) Exec(src string) error {
 	switch s := stmt.(type) {
 	case *FindStmt:
 		return env.execFind(s)
+	case *ParetoStmt:
+		return env.execPareto(s)
 	case *ShowStmt:
 		return env.execShow(s)
 	case *DescribeStmt:
@@ -94,6 +106,8 @@ func (env *Env) Exec(src string) error {
 		return env.execGenerate(s)
 	case *EstimateStmt:
 		return env.execEstimate(s)
+	case *ExploreStmt:
+		return env.execExplore(s)
 	case *SetStmt:
 		return env.execSet(s)
 	case *HelpStmt:
@@ -151,6 +165,119 @@ func (env *Env) execFind(f *FindStmt) error {
 		fmt.Fprintln(env.Out, "no matching implementations")
 	}
 	return nil
+}
+
+// execPareto compiles and runs a "find pareto" command, streaming the
+// frontier (and, with "dominated", the beaten points with their
+// explanations) as the engine yields it. Session weight overrides
+// rescore the printed cost exactly as on the find path; the session
+// width default is NOT applied — an "at width" pin on a frontier query
+// filters to points explored at exactly that width, which must be an
+// explicit ask. Like a streamed find, a failed write stops the stream.
+func (env *Env) execPareto(f *ParetoStmt) error {
+	q := icdb.ParetoQuery{Dominated: f.Dominated}
+	if f.Type != nil {
+		ct, ok := genus.NormalizeComponentType(f.Type.Text)
+		if !ok {
+			return &Error{Col: f.Type.Col,
+				Msg:  "unknown component type '" + f.Type.Text + "'",
+				Hint: suggest(f.Type.Text, componentTypeNames())}
+		}
+		q.Component = ct
+	}
+	if f.Generator != nil {
+		// Not validated against the generators relation: exploration
+		// spaces also form under implementation names (EstimateImpl).
+		q.Generator = f.Generator.Text
+	}
+	for i := range f.Where {
+		c, err := compileCond(&f.Where[i])
+		if err != nil {
+			return err
+		}
+		q.Constraints = append(q.Constraints, c)
+	}
+	if f.At != nil {
+		q.Constraints = append(q.Constraints, icdb.AtWidth(f.At.Width))
+	}
+	if env.wArea != nil || env.wDelay != nil {
+		wa, wd := env.DB.RankWeights()
+		if env.wArea != nil {
+			wa = *env.wArea
+		}
+		if env.wDelay != nil {
+			wd = *env.wDelay
+		}
+		q.Constraints = append(q.Constraints, icdb.Weights(wa, wd))
+	}
+	n, frontier := 0, 0
+	var werr error
+	err := env.DB.Pareto(q, func(p icdb.ParetoPoint) bool {
+		if f.HasLimit && n >= f.Limit {
+			return false
+		}
+		n++
+		if p.Dominated {
+			_, werr = fmt.Fprintf(env.Out, "   %-24s %-18s width %3d area %g delay %g cost %g  dominated by %s (Δarea %g, Δdelay %g)\n",
+				p.PointID(), p.Component, p.Width, p.Area, p.Delay, p.Cost,
+				p.DominatedBy, p.DArea, p.DDelay)
+		} else {
+			frontier++
+			_, werr = fmt.Fprintf(env.Out, "%d. %-24s %-18s width %3d area %g delay %g cost %g\n",
+				frontier, p.PointID(), p.Component, p.Width, p.Area, p.Delay, p.Cost)
+		}
+		return werr == nil
+	})
+	if err != nil {
+		return err
+	}
+	if werr != nil {
+		return werr
+	}
+	if n == 0 {
+		fmt.Fprintln(env.Out, "no explored design points match (run 'explore' or 'generate' first)")
+	}
+	return nil
+}
+
+// execExplore resolves the generator, runs the sweep, and prints one
+// row per evaluated design point.
+func (env *Env) execExplore(s *ExploreStmt) error {
+	if _, err := env.DB.GeneratorByName(s.Gen.Text); err != nil {
+		return &Error{Col: s.Gen.Col,
+			Msg:  "unknown generator '" + s.Gen.Text + "'",
+			Hint: suggest(s.Gen.Text, generatorNames(env.DB))}
+	}
+	params := make(map[string]int, len(s.Params))
+	for _, p := range s.Params {
+		params[p.Name.Text] = p.Value
+	}
+	step := s.Step
+	if step == 0 {
+		step = 1
+	}
+	pts, err := env.DB.Explore(s.Gen.Text, s.Lo, s.Hi, step, params, s.Materialize)
+	if err != nil {
+		return errf(s.RangeCol, "%v", err)
+	}
+	for _, pt := range pts {
+		if pt.Impl != "" {
+			verb := "registered"
+			if pt.Reused {
+				verb = "reused"
+			}
+			_, err = fmt.Fprintf(env.Out, "width %3d: area %g delay %g cost %g  %s %s\n",
+				pt.Width, pt.Area, pt.Delay, pt.Cost, verb, pt.Impl)
+		} else {
+			_, err = fmt.Fprintf(env.Out, "width %3d: area %g delay %g cost %g\n",
+				pt.Width, pt.Area, pt.Delay, pt.Cost)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	_, err = fmt.Fprintf(env.Out, "explored %d design point(s) of %s\n", len(pts), s.Gen.Text)
+	return err
 }
 
 // execSet records one session parameter (see Env's session fields).
@@ -248,6 +375,21 @@ func (env *Env) execShow(s *ShowStmt) error {
 				_, err = fmt.Fprintf(env.Out, "%s\n", fn)
 			}
 			if err != nil {
+				return err
+			}
+		}
+	case "explorations":
+		xs, err := env.DB.Explorations()
+		if err != nil {
+			return err
+		}
+		if len(xs) == 0 {
+			fmt.Fprintln(env.Out, "no recorded explorations (run 'explore', 'generate', or 'estimate')")
+			return nil
+		}
+		for _, e := range xs {
+			if _, err := fmt.Fprintf(env.Out, "%-24s %-18s width %3d area %g delay %g\n",
+				e.PointID(), e.Component, e.Width, e.Area, e.Delay); err != nil {
 				return err
 			}
 		}

@@ -1,0 +1,157 @@
+package cql
+
+// Exec-level tests of the PR 9 design-space verbs: explore sweeps,
+// "find pareto" frontier queries with dominance explanations, and the
+// "show explorations" listing. gen_cnt's estimators (area 12*width,
+// delay 2+width/16) grow on both axes, so in a pure sweep the smallest
+// width dominates every other point — a deterministic frontier shape
+// the tests lean on.
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExecExplore checks the sweep's printed rows, the summary line,
+// and that the default mode registers no implementations.
+func TestExecExplore(t *testing.T) {
+	env := &Env{DB: openTestDB(t)}
+	before, err := env.DB.Impls()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := execOut(t, env, "explore gen_cnt width 4..16 step 4")
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("output = %q", out)
+	}
+	if !strings.HasPrefix(lines[0], "width   4: area 48 delay 2.25") {
+		t.Errorf("line 1 = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[3], "width  16: area 192 delay 3") {
+		t.Errorf("line 4 = %q", lines[3])
+	}
+	if lines[4] != "explored 4 design point(s) of gen_cnt" {
+		t.Errorf("summary = %q", lines[4])
+	}
+	after, err := env.DB.Impls()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) {
+		t.Errorf("estimate-only explore registered impls: %d -> %d", len(before), len(after))
+	}
+
+	// Materializing registers; re-running reuses.
+	out = execOut(t, env, "explore gen_cnt width 8..8 materialize")
+	if !strings.Contains(out, "registered gen_cnt_size_8") {
+		t.Errorf("materialize output = %q", out)
+	}
+	out = execOut(t, env, "explore gen_cnt width 8..8 materialize")
+	if !strings.Contains(out, "reused gen_cnt_size_8") {
+		t.Errorf("re-run output = %q", out)
+	}
+}
+
+// TestExecExploreErrors checks the unknown-generator suggestion and
+// that engine-side sweep errors come back positioned at the range.
+func TestExecExploreErrors(t *testing.T) {
+	env := &Env{DB: openTestDB(t)}
+	err := env.Exec("explore gen_ctn width 4..8")
+	if err == nil || !strings.Contains(err.Error(), `did you mean "gen_cnt"?`) {
+		t.Errorf("unknown generator error = %v", err)
+	}
+	err = env.Exec("explore gen_cnt width 4..200")
+	if err == nil || !strings.Contains(err.Error(), "outside generator range [1,128]") ||
+		!strings.Contains(err.Error(), "at col 23") {
+		t.Errorf("out-of-range error = %v", err)
+	}
+}
+
+// TestExecPareto seeds a sweep and checks the frontier stream: numbered
+// frontier rows, dominated rows with their explanations, constraint
+// re-shaping, the at-width pin, limit, and the empty-space message.
+func TestExecPareto(t *testing.T) {
+	env := &Env{DB: openTestDB(t)}
+	out := execOut(t, env, "find pareto")
+	if !strings.Contains(out, "no explored design points match") {
+		t.Errorf("empty-space output = %q", out)
+	}
+
+	execOut(t, env, "explore gen_cnt width 4..16 step 4")
+
+	// Both axes grow with width, so width 4 dominates the whole sweep.
+	out = execOut(t, env, "find pareto of generator gen_cnt")
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 1 || !strings.HasPrefix(lines[0], "1. gen_cnt[size=4]") {
+		t.Errorf("frontier = %q", out)
+	}
+
+	// dominated adds the beaten points, each blaming the frontier point
+	// with its margins.
+	out = execOut(t, env, "find pareto of generator gen_cnt dominated")
+	lines = strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("dominated output = %q", out)
+	}
+	if !strings.Contains(lines[1], "gen_cnt[size=8]") ||
+		!strings.Contains(lines[1], "dominated by gen_cnt[size=4] (Δarea 48, Δdelay 0.25)") {
+		t.Errorf("dominated line = %q", lines[1])
+	}
+
+	// Constraints filter before dominance: excluding the global winner
+	// promotes the best survivor instead of emptying the answer.
+	out = execOut(t, env, "find pareto of generator gen_cnt with width >= 8")
+	if !strings.Contains(out, "1. gen_cnt[size=8]") || strings.Contains(out, "size=4") {
+		t.Errorf("constrained frontier = %q", out)
+	}
+
+	// at width pins to the explored width exactly.
+	out = execOut(t, env, "find pareto of generator gen_cnt at width 12")
+	if !strings.Contains(out, "1. gen_cnt[size=12]") || strings.Contains(out, "size=4") {
+		t.Errorf("at-width frontier = %q", out)
+	}
+
+	// limit bounds the streamed rows.
+	out = execOut(t, env, "find pareto of generator gen_cnt dominated limit 2")
+	if got := len(strings.Split(strings.TrimSpace(out), "\n")); got != 2 {
+		t.Errorf("limit 2 printed %d rows: %q", got, out)
+	}
+
+	// The component-keyed space unions generator sweeps with estimated
+	// implementations (cnt_up at width 4: area 48, delay 2 — it beats
+	// the sweep's width-4 point on delay and ties on area).
+	execOut(t, env, "estimate cnt_up width=4")
+	out = execOut(t, env, "find pareto of type Counter")
+	if !strings.Contains(out, "1. cnt_up[width=4]") {
+		t.Errorf("component frontier = %q", out)
+	}
+
+	// Unknown component type gets the usual suggestion.
+	err := env.Exec("find pareto of type Counterr")
+	if err == nil || !strings.Contains(err.Error(), `did you mean "Counter"?`) {
+		t.Errorf("unknown type error = %v", err)
+	}
+}
+
+// TestExecShowExplorations checks the listing: empty message, then
+// sorted rows after a sweep.
+func TestExecShowExplorations(t *testing.T) {
+	env := &Env{DB: openTestDB(t)}
+	out := execOut(t, env, "show explorations")
+	if !strings.Contains(out, "no recorded explorations") {
+		t.Errorf("empty listing = %q", out)
+	}
+	execOut(t, env, "explore gen_cnt width 4..8 step 4")
+	out = execOut(t, env, "show explorations")
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("listing = %q", out)
+	}
+	if !strings.HasPrefix(lines[0], "gen_cnt[size=4]") || !strings.Contains(lines[0], "Counter") {
+		t.Errorf("row = %q", lines[0])
+	}
+	if out != execOut(t, env, "show explorations") {
+		t.Error("show explorations is not deterministic")
+	}
+}

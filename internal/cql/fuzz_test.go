@@ -30,6 +30,14 @@ var fuzzSeeds = []string{
 	"generate Counter size=8 stages=2",
 	"estimate add_ripple width=16",
 	"estimate add_ripple width=16 area",
+	"explore gen_cnt width 4..64",
+	"explore gen_cnt width 4..64 step 4 materialize",
+	"explore gen_cnt width 4 .. 64 step 2",
+	"explore gen_sub width 8..8 stages=0",
+	"find pareto",
+	"find pareto of type Counter with area <= 200 dominated",
+	"find pareto of generator gen_cnt at width 16 limit 5",
+	"show explorations",
 	"find component executing ADD at width 16 order by area",
 	"find component of type Counter at width 8 limit 2",
 	"help",
@@ -55,6 +63,14 @@ var fuzzSeeds = []string{
 	"estimate reg_d width=",
 	"estimate reg_d width=8 aera",
 	"ESTIMATE reg_d WIDTH=8 COST",
+	"exlpore gen_cnt width 4..64",
+	"find paretto of type counter",
+	"explore gen_cnt width ..64",
+	"explore gen_cnt width 4..",
+	"explore gen_cnt width 8..4",
+	"explore gen_cnt width 4..x",
+	"find pareto of Counter",
+	"find pareto dominted",
 }
 
 // FuzzParse asserts parser robustness: no panic on any input, every

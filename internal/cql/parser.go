@@ -1,6 +1,7 @@
 package cql
 
 import (
+	"strconv"
 	"strings"
 
 	"icdb/internal/icdb"
@@ -13,12 +14,15 @@ import (
 // attribute added there is immediately queryable here; "width" is this
 // layer's sugar over the width range (see compileCond).
 var (
-	commandWords  = []string{"find", "show", "describe", "expand", "generate", "estimate", "set", "help"}
-	targetWords   = []string{"component", "components", "impls"}
-	clauseWords   = []string{"of", "executing", "with", "at", "order", "limit"}
-	attrWords     = append(icdb.ConstraintAttrs(), "width")
-	orderKeyWords = icdb.OrderKeys()
-	showWords     = []string{"impls", "components", "functions", "generators", "session", "server"}
+	commandWords = []string{"find", "show", "describe", "expand", "generate", "estimate", "explore", "set", "help"}
+	targetWords  = []string{"component", "components", "impls", "pareto"}
+	clauseWords  = []string{"of", "executing", "with", "at", "order", "limit"}
+	// paretoClauseWords are the clause keywords of the "find pareto"
+	// production, for suggestions on its trailing garbage.
+	paretoClauseWords = []string{"of", "with", "at", "dominated", "limit"}
+	attrWords         = append(icdb.ConstraintAttrs(), "width")
+	orderKeyWords     = icdb.OrderKeys()
+	showWords         = []string{"impls", "components", "functions", "generators", "explorations", "session", "server"}
 	// setWords are the session parameters a set command may adjust.
 	setWords = []string{"width", "area_weight", "delay_weight"}
 	// estimateWords are the attributes an estimate command may single
@@ -130,7 +134,7 @@ func (p *parser) command() (Stmt, error) {
 				Msg:  "unknown command '" + t.Text + "'",
 				Hint: suggest(t.Text, commandWords)}
 		}
-		return nil, errf(t.Col, "expected a command (find, show, describe, expand, generate, estimate, or help), got %s", describe(t))
+		return nil, errf(t.Col, "expected a command (find, show, describe, expand, generate, estimate, explore, or help), got %s", describe(t))
 	}
 	p.advance()
 	switch cmd {
@@ -146,6 +150,8 @@ func (p *parser) command() (Stmt, error) {
 		return p.generate()
 	case "estimate":
 		return p.estimate()
+	case "explore":
+		return p.explore()
 	case "set":
 		return p.set()
 	}
@@ -198,10 +204,15 @@ func (p *parser) set() (Stmt, error) {
 // with the clauses in that fixed order.
 func (p *parser) find() (Stmt, error) {
 	t := p.cur()
-	if _, ok := keywordIn(t, targetWords); !ok {
+	target, ok := keywordIn(t, targetWords)
+	if !ok {
 		return nil, &Error{Col: t.Col,
-			Msg:  "expected 'component' (or 'components', 'impls') after 'find', got " + describe(t),
+			Msg:  "expected 'component' (or 'components', 'impls', 'pareto') after 'find', got " + describe(t),
 			Hint: suggestWord(t, targetWords)}
+	}
+	if target == "pareto" {
+		p.advance()
+		return p.pareto()
 	}
 	f := &FindStmt{Target: Word{Text: t.Text, Col: t.Col}}
 	p.advance()
@@ -320,6 +331,207 @@ func (p *parser) find() (Stmt, error) {
 	return f, nil
 }
 
+// pareto parses the tail of
+//
+//	"find" "pareto" [("of" ("type" Name | "generator" Name))]
+//	                [With] [AtWidth] ["dominated"] [Limit]
+//
+// with the clauses in that fixed order. The "find" and "pareto" words
+// are already consumed.
+func (p *parser) pareto() (Stmt, error) {
+	f := &ParetoStmt{}
+	if p.atKw("of") {
+		p.advance()
+		switch {
+		case p.kw("type"):
+			n := p.cur()
+			if n.Kind != WORD {
+				return nil, errf(n.Col, "expected component type after 'of type', got %s", describe(n))
+			}
+			p.advance()
+			f.Type = &Word{Text: n.Text, Col: n.Col}
+		case p.kw("generator"):
+			n := p.cur()
+			if n.Kind != WORD && n.Kind != STRING {
+				return nil, errf(n.Col, "expected generator name after 'of generator', got %s", describe(n))
+			}
+			p.advance()
+			f.Generator = &Word{Text: n.Text, Col: n.Col}
+		default:
+			return nil, errf(p.cur().Col, "expected 'type' or 'generator' after 'of' (as in \"of type Counter\" or \"of generator gen_cnt\"), got %s", describe(p.cur()))
+		}
+	}
+
+	if p.atKw("with") {
+		p.advance()
+		after := "'with'"
+		for {
+			cond, err := p.cond(after)
+			if err != nil {
+				return nil, err
+			}
+			f.Where = append(f.Where, *cond)
+			if !p.sep() {
+				break
+			}
+			after = "'and'"
+		}
+	}
+
+	if p.atKw("at") {
+		p.advance()
+		if !p.kw("width") {
+			return nil, errf(p.cur().Col, "expected 'width' after 'at' (as in \"at width 16\"), got %s", describe(p.cur()))
+		}
+		n := p.cur()
+		if n.Kind != NUMBER || !n.IsInt || n.Val < 1 {
+			return nil, errf(n.Col, "expected positive whole number of bits after 'at width', got %s", describe(n))
+		}
+		p.advance()
+		f.At = &AtClause{Width: int(n.Val), Col: n.Col}
+	}
+
+	if p.kw("dominated") {
+		f.Dominated = true
+	}
+
+	if p.atKw("limit") {
+		p.advance()
+		n := p.cur()
+		if n.Kind != NUMBER || !n.IsInt || n.Val < 0 {
+			return nil, errf(n.Col, "expected non-negative integer after 'limit', got %s", describe(n))
+		}
+		p.advance()
+		f.Limit = int(n.Val)
+		f.HasLimit = true
+	}
+
+	if t := p.cur(); t.Kind == WORD {
+		if kw, ok := keywordIn(t, paretoClauseWords); ok {
+			return nil, errf(t.Col, "clause '%s' is out of order or duplicated (clause order: of, with, at width, dominated, limit)", kw)
+		}
+		return nil, &Error{Col: t.Col,
+			Msg:  "unknown keyword '" + t.Text + "'",
+			Hint: suggest(t.Text, paretoClauseWords)}
+	}
+	return f, nil
+}
+
+// explore parses
+//
+//	"explore" Name "width" Range ["step" Int] ["materialize"]
+//	          { Name "=" Int }
+//
+// where Range is "<lo>..<hi>" (see widthRange).
+func (p *parser) explore() (Stmt, error) {
+	t := p.cur()
+	if t.Kind != WORD && t.Kind != STRING {
+		return nil, errf(t.Col, "expected generator name after 'explore', got %s", describe(t))
+	}
+	p.advance()
+	e := &ExploreStmt{Gen: Word{Text: t.Text, Col: t.Col}}
+	if !p.kw("width") {
+		return nil, errf(p.cur().Col, "expected 'width <lo>..<hi>' after the generator name, got %s", describe(p.cur()))
+	}
+	lo, hi, col, err := p.widthRange()
+	if err != nil {
+		return nil, err
+	}
+	e.Lo, e.Hi, e.RangeCol = lo, hi, col
+	if p.atKw("step") {
+		p.advance()
+		n := p.cur()
+		if n.Kind != NUMBER || !n.IsInt || n.Val < 1 {
+			return nil, errf(n.Col, "expected positive integer after 'step', got %s", describe(n))
+		}
+		p.advance()
+		e.Step = int(n.Val)
+	}
+	if p.kw("materialize") {
+		e.Materialize = true
+	}
+	params, err := p.paramList()
+	if err != nil {
+		return nil, err
+	}
+	e.Params = params
+	return e, nil
+}
+
+// widthRange parses the "<lo>..<hi>" production of an explore command.
+// The lexer's word rules make '.' a word character (so file paths lex
+// whole), which means "4..64" arrives as a single WORD; the range may
+// also arrive split across tokens ("4 .. 64", "4.. 64", "4 ..64"), and
+// every split parses the same.
+func (p *parser) widthRange() (lo, hi, col int, err error) {
+	t := p.cur()
+	col = t.Col
+	switch {
+	case t.Kind == NUMBER:
+		if !t.IsInt || t.Val < 1 {
+			return 0, 0, 0, errf(t.Col, "expected positive whole number of bits as the lower width bound, got %s", describe(t))
+		}
+		lo = int(t.Val)
+		p.advance()
+		d := p.cur()
+		if d.Kind != WORD || !strings.HasPrefix(d.Text, "..") {
+			return 0, 0, 0, errf(d.Col, "expected '..' after the lower width bound (as in \"width %d..64\"), got %s", lo, describe(d))
+		}
+		p.advance()
+		if rest := d.Text[2:]; rest != "" {
+			hi, err = rangeBound(rest, d.Col+2)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+		} else {
+			n := p.cur()
+			if n.Kind != NUMBER || !n.IsInt || n.Val < 1 {
+				return 0, 0, 0, errf(n.Col, "expected positive whole number of bits as the upper width bound, got %s", describe(n))
+			}
+			p.advance()
+			hi = int(n.Val)
+		}
+	case t.Kind == WORD && strings.Contains(t.Text, ".."):
+		i := strings.Index(t.Text, "..")
+		loStr, hiStr := t.Text[:i], t.Text[i+2:]
+		if loStr == "" {
+			return 0, 0, 0, errf(t.Col, "width range needs a lower bound before '..' (as in \"width 4..64\")")
+		}
+		if lo, err = rangeBound(loStr, t.Col); err != nil {
+			return 0, 0, 0, err
+		}
+		p.advance()
+		if hiStr != "" {
+			if hi, err = rangeBound(hiStr, t.Col+i+2); err != nil {
+				return 0, 0, 0, err
+			}
+		} else {
+			n := p.cur()
+			if n.Kind != NUMBER || !n.IsInt || n.Val < 1 {
+				return 0, 0, 0, errf(n.Col, "expected positive whole number of bits as the upper width bound, got %s", describe(n))
+			}
+			p.advance()
+			hi = int(n.Val)
+		}
+	default:
+		return 0, 0, 0, errf(t.Col, "expected width range '<lo>..<hi>' after 'width', got %s", describe(t))
+	}
+	if hi < lo {
+		return 0, 0, 0, errf(col, "bad width range %d..%d (upper bound below lower)", lo, hi)
+	}
+	return lo, hi, col, nil
+}
+
+// rangeBound parses one bound of a width range that arrived glued to
+// the ".." inside a single word.
+func rangeBound(s string, col int) (int, error) {
+	v, err := strconv.Atoi(s)
+	if err != nil || v < 1 {
+		return 0, errf(col, "expected positive whole number of bits as a width bound, got '%s'", s)
+	}
+	return v, nil
+}
+
 // prevSep names the token a function list element follows, for error
 // messages: 'executing' for the first element, 'and' afterwards.
 func prevSep(sofar []Word) string {
@@ -368,7 +580,7 @@ func (p *parser) cond(after string) (*Cond, error) {
 }
 
 // show parses "show" ("impls" | "components" | "functions" |
-// "generators" | "session" | "server").
+// "generators" | "explorations" | "session" | "server").
 func (p *parser) show() (Stmt, error) {
 	t := p.cur()
 	what, ok := keywordIn(t, showWords)
@@ -378,7 +590,7 @@ func (p *parser) show() (Stmt, error) {
 				Msg:  "unknown listing '" + t.Text + "'",
 				Hint: suggest(t.Text, showWords)}
 		}
-		return nil, errf(t.Col, "expected 'impls', 'components', 'functions', 'generators', 'session', or 'server' after 'show', got %s", describe(t))
+		return nil, errf(t.Col, "expected 'impls', 'components', 'functions', 'generators', 'explorations', 'session', or 'server' after 'show', got %s", describe(t))
 	}
 	p.advance()
 	return &ShowStmt{What: Word{Text: what, Col: t.Col}}, nil

@@ -203,6 +203,95 @@ func TestParseExpandCmd(t *testing.T) {
 	}
 }
 
+// TestParseParetoCmd covers the ParetoCmd production: full clause
+// complement, both "of" selectors, and the bare form.
+func TestParseParetoCmd(t *testing.T) {
+	stmt, err := Parse("find pareto of type Counter with area <= 200 and delay < 9 at width 16 dominated limit 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, ok := stmt.(*ParetoStmt)
+	if !ok {
+		t.Fatalf("Parse = %T, want *ParetoStmt", stmt)
+	}
+	if f.Type == nil || f.Type.Text != "Counter" || f.Generator != nil {
+		t.Errorf("Type = %+v, Generator = %+v", f.Type, f.Generator)
+	}
+	if len(f.Where) != 2 || f.Where[0].Attr.Text != "area" || f.Where[1].Op != LT {
+		t.Errorf("Where = %+v", f.Where)
+	}
+	if f.At == nil || f.At.Width != 16 {
+		t.Errorf("At = %+v", f.At)
+	}
+	if !f.Dominated || !f.HasLimit || f.Limit != 10 {
+		t.Errorf("Dominated = %v, Limit = %d (has %v)", f.Dominated, f.Limit, f.HasLimit)
+	}
+
+	stmt, err = Parse("find pareto of generator gen_cnt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f = stmt.(*ParetoStmt)
+	if f.Generator == nil || f.Generator.Text != "gen_cnt" || f.Type != nil {
+		t.Errorf("Generator = %+v, Type = %+v", f.Generator, f.Type)
+	}
+
+	stmt, err = Parse("find pareto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f = stmt.(*ParetoStmt)
+	if f.Type != nil || f.Generator != nil || f.Where != nil || f.Dominated || f.HasLimit {
+		t.Errorf("bare pareto = %+v", f)
+	}
+}
+
+// TestParseExploreCmd covers the ExploreCmd production, including every
+// tokenization the lexer can hand the width range ('.' is a word
+// character, so "4..64" is one WORD; spacing splits it differently).
+func TestParseExploreCmd(t *testing.T) {
+	stmt, err := Parse("explore gen_cnt width 4..64 step 4 materialize stages=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := stmt.(*ExploreStmt)
+	if !ok {
+		t.Fatalf("Parse = %T, want *ExploreStmt", stmt)
+	}
+	if e.Gen.Text != "gen_cnt" || e.Lo != 4 || e.Hi != 64 || e.Step != 4 || !e.Materialize {
+		t.Errorf("explore = %+v", e)
+	}
+	if len(e.Params) != 1 || e.Params[0].Name.Text != "stages" || e.Params[0].Value != 2 {
+		t.Errorf("Params = %+v", e.Params)
+	}
+
+	// All range tokenizations parse the same.
+	for _, src := range []string{
+		"explore gen_cnt width 4..64",
+		"explore gen_cnt width 4 .. 64",
+		"explore gen_cnt width 4.. 64",
+		"explore gen_cnt width 4 ..64",
+	} {
+		stmt, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		e := stmt.(*ExploreStmt)
+		if e.Lo != 4 || e.Hi != 64 || e.Step != 0 || e.Materialize {
+			t.Errorf("Parse(%q) = %+v", src, e)
+		}
+	}
+
+	// A degenerate single-point range is legal.
+	stmt, err = Parse("explore gen_cnt width 8..8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := stmt.(*ExploreStmt); e.Lo != 8 || e.Hi != 8 {
+		t.Errorf("single-point range = %+v", e)
+	}
+}
+
 // TestParseHelpCmd covers the HelpCmd production.
 func TestParseHelpCmd(t *testing.T) {
 	stmt, err := Parse("help")
@@ -236,12 +325,14 @@ func TestParseErrors(t *testing.T) {
 		src  string
 		want string
 	}{
-		{"", "cql: expected a command (find, show, describe, expand, generate, estimate, or help), got end of command at col 1"},
-		{"42", "cql: expected a command (find, show, describe, expand, generate, estimate, or help), got number 42 at col 1"},
+		{"", "cql: expected a command (find, show, describe, expand, generate, estimate, explore, or help), got end of command at col 1"},
+		{"42", "cql: expected a command (find, show, describe, expand, generate, estimate, explore, or help), got number 42 at col 1"},
 		{"fnd component", `cql: unknown command 'fnd' at col 1 (did you mean "find"?)`},
 		{"descrbe reg_d", `cql: unknown command 'descrbe' at col 1 (did you mean "describe"?)`},
-		{"find", "cql: expected 'component' (or 'components', 'impls') after 'find', got end of command at col 5"},
-		{"find componnet", `cql: expected 'component' (or 'components', 'impls') after 'find', got 'componnet' at col 6 (did you mean "component"?)`},
+		{"exlpore gen_cnt width 4..64", `cql: unknown command 'exlpore' at col 1 (did you mean "explore"?)`},
+		{"find", "cql: expected 'component' (or 'components', 'impls', 'pareto') after 'find', got end of command at col 5"},
+		{"find componnet", `cql: expected 'component' (or 'components', 'impls', 'pareto') after 'find', got 'componnet' at col 6 (did you mean "component"?)`},
+		{"find paretto of type Counter", `cql: expected 'component' (or 'components', 'impls', 'pareto') after 'find', got 'paretto' at col 6 (did you mean "pareto"?)`},
 		{"find component of Counter", "cql: expected 'type' after 'of' (as in \"of type Counter\"), got 'Counter' at col 19"},
 		{"find component of type", "cql: expected component type after 'of type', got end of command at col 23"},
 		{"find component executing", "cql: expected function name after 'executing', got end of command at col 25"},
@@ -269,8 +360,29 @@ func TestParseErrors(t *testing.T) {
 		{"find component at width 2.5", "cql: expected positive whole number of bits after 'at width', got number 2.5 at col 25"},
 		{"find component order by area at width 8", "cql: clause 'at' is out of order or duplicated (clause order: of type, executing, with, at width, order by, limit) at col 30"},
 		{"show impl", `cql: unknown listing 'impl' at col 6 (did you mean "impls"?)`},
-		{"show", "cql: expected 'impls', 'components', 'functions', 'generators', 'session', or 'server' after 'show', got end of command at col 5"},
+		{"show", "cql: expected 'impls', 'components', 'functions', 'generators', 'explorations', 'session', or 'server' after 'show', got end of command at col 5"},
 		{"show generatos", `cql: unknown listing 'generatos' at col 6 (did you mean "generators"?)`},
+		{"show exploration", `cql: unknown listing 'exploration' at col 6 (did you mean "explorations"?)`},
+		{"find pareto of Counter", "cql: expected 'type' or 'generator' after 'of' (as in \"of type Counter\" or \"of generator gen_cnt\"), got 'Counter' at col 16"},
+		{"find pareto of type", "cql: expected component type after 'of type', got end of command at col 20"},
+		{"find pareto of generator", "cql: expected generator name after 'of generator', got end of command at col 25"},
+		{"find pareto with aera <= 2", `cql: unknown attribute 'aera' at col 18 (did you mean "area"?)`},
+		{"find pareto dominated with area <= 2", "cql: clause 'with' is out of order or duplicated (clause order: of, with, at width, dominated, limit) at col 23"},
+		{"find pareto dominted", `cql: unknown keyword 'dominted' at col 13 (did you mean "dominated"?)`},
+		{"find pareto limit x", "cql: expected non-negative integer after 'limit', got 'x' at col 19"},
+		{"explore", "cql: expected generator name after 'explore', got end of command at col 8"},
+		{"explore gen_cnt", "cql: expected 'width <lo>..<hi>' after the generator name, got end of command at col 16"},
+		{"explore gen_cnt width", "cql: expected width range '<lo>..<hi>' after 'width', got end of command at col 22"},
+		{"explore gen_cnt width 4", "cql: expected '..' after the lower width bound (as in \"width 4..64\"), got end of command at col 24"},
+		{"explore gen_cnt width 4..", "cql: expected positive whole number of bits as the upper width bound, got end of command at col 26"},
+		{"explore gen_cnt width ..64", "cql: width range needs a lower bound before '..' (as in \"width 4..64\") at col 23"},
+		{"explore gen_cnt width 4..x", "cql: expected positive whole number of bits as a width bound, got 'x' at col 26"},
+		{"explore gen_cnt width 8..4", "cql: bad width range 8..4 (upper bound below lower) at col 23"},
+		{"explore gen_cnt width 0..8", "cql: expected positive whole number of bits as a width bound, got '0' at col 23"},
+		{"explore gen_cnt width 0 ..8", "cql: expected positive whole number of bits as the lower width bound, got number 0 at col 23"},
+		{"explore gen_cnt width 4..8 step 0", "cql: expected positive integer after 'step', got number 0 at col 33"},
+		{"explore gen_cnt width 4..8 step x", "cql: expected positive integer after 'step', got 'x' at col 33"},
+		{"explore gen_cnt width 4..8 stages 2", "cql: expected '=' after parameter name 'stages', got number 2 at col 35"},
 		{"describe", "cql: expected implementation name after 'describe', got end of command at col 9"},
 		{"expand", "cql: expected design file (or '-' for stdin) after 'expand', got end of command at col 7"},
 		{"expand f.iif size 4", "cql: expected '=' after parameter name 'size', got number 4 at col 19"},

@@ -32,6 +32,7 @@ const (
 	TableToolParams      = "tool_params"
 	TableGenerators      = "generators"
 	TableEstimators      = "estimators"
+	TableExplorations    = "explorations"
 )
 
 // Schemas returns the relational schema of every ICDB table.
@@ -114,6 +115,28 @@ func Schemas() []relstore.Schema {
 			// estimator rows — from a posting list.
 			Indexes: []relstore.Index{{Columns: []string{"impl"}}},
 		},
+		{
+			Table: TableExplorations,
+			Columns: []relstore.Column{
+				{Name: "generator", Type: relstore.TString},
+				{Name: "bindings", Type: relstore.TString},
+				{Name: "component", Type: relstore.TString},
+				{Name: "width", Type: relstore.TInt},
+				{Name: "area", Type: relstore.TFloat},
+				{Name: "delay", Type: relstore.TFloat},
+			},
+			// One row per evaluated design point: the generator (or
+			// implementation, for estimate results) and its canonical
+			// binding string identify the point, so re-sweeping a range
+			// upserts value-equal rows — journal-silent no-ops.
+			Key: []string{"generator", "bindings"},
+			// Serve Pareto(component) and Pareto(generator) from posting
+			// lists instead of full scans.
+			Indexes: []relstore.Index{
+				{Columns: []string{"component"}},
+				{Columns: []string{"generator"}},
+			},
+		},
 	}
 }
 
@@ -189,6 +212,14 @@ type DB struct {
 	// Cached ranking weights (tool "icdb"), refreshed after SetToolParam.
 	wa, wd float64
 	wOK    bool
+
+	// pmu guards the frontier engine's design-point cache: decoded,
+	// sweep-ordered exploration sets per query scope, stamped with the
+	// store generation they were read at so any effective mutation —
+	// through the DB or directly through Store() — invalidates them
+	// without an explicit hook (see scopedExplorations in pareto.go).
+	pmu  sync.Mutex
+	expl *explCache
 }
 
 // derived is one immutable-once-shared snapshot of the DB's derived

@@ -8,11 +8,13 @@ package icdb_test
 
 import (
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"icdb/internal/genus"
 	"icdb/internal/icdb"
 	"icdb/internal/relstore"
+	"icdb/internal/relstore/faultfile"
 )
 
 func TestJournalDurableCatalog(t *testing.T) {
@@ -67,5 +69,86 @@ func TestJournalDurableCatalog(t *testing.T) {
 	// grown — this is what lets icdbd boot journal-silently.
 	if got := d2.Info().Records; got != seeded {
 		t.Errorf("reopening an unchanged catalog grew the journal from %d to %d records", seeded, got)
+	}
+}
+
+// TestJournalDurableExplorations asserts exploration rows journal like
+// every other relation: a sweep's design points survive a crash-style
+// reopen (no Close, no Compact — recovery runs from the post-crash
+// filesystem image), each journal record replays exactly once, and
+// re-running the same sweep after recovery appends nothing — the
+// value-equal upsert no-op holds across a restart.
+func TestJournalDurableExplorations(t *testing.T) {
+	fs := faultfile.New()
+	d, err := relstore.OpenDurable("cat.snap", relstore.DurableOptions{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := icdb.Open(d.Store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Explore("gen_cnt", 8, 32, 8, nil, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := db.EstimateImpl("cnt_up", 16); err != nil {
+		t.Fatal(err)
+	}
+	want, err := db.Explorations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFrontier, err := db.ParetoFrontier(icdb.ParetoQuery{Component: genus.CompCounter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := d.Info().Records
+
+	// Crash: every further filesystem op fails, and only synced bytes
+	// survive into the image. Under FsyncAlways (the default) every
+	// acknowledged mutation is already durable, so KeepNone — the
+	// strictest image — must recover everything.
+	fs.CrashAt(fs.Ops())
+	img := fs.Image(faultfile.KeepNone)
+
+	d2, err := relstore.OpenDurable("cat.snap", relstore.DurableOptions{FS: img})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer d2.Close()
+	if got := int64(d2.Info().Recovery.Replayed); got != records {
+		t.Errorf("recovery replayed %d journal records, want each of %d exactly once", got, records)
+	}
+	db2, err := icdb.Open(d2.Store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := db2.Explorations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("explorations after crash reopen:\ngot  %+v\nwant %+v", got, want)
+	}
+	gotFrontier, err := db2.ParetoFrontier(icdb.ParetoQuery{Component: genus.CompCounter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotFrontier, wantFrontier) {
+		t.Errorf("frontier after crash reopen:\ngot  %+v\nwant %+v", gotFrontier, wantFrontier)
+	}
+	// Re-running the identical sweep against the recovered catalog is
+	// journal-silent: every row upserts value-equal.
+	if got := d2.Info().Records; got != records {
+		t.Fatalf("reopen grew the journal from %d to %d records before any new work", records, got)
+	}
+	if _, err := db2.Explore("gen_cnt", 8, 32, 8, nil, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := db2.EstimateImpl("cnt_up", 16); err != nil {
+		t.Fatal(err)
+	}
+	if got := d2.Info().Records; got != records {
+		t.Errorf("re-running a recovered sweep grew the journal from %d to %d records", records, got)
 	}
 }

@@ -304,6 +304,19 @@ func (db *DB) Generate(name string, params map[string]int) (im Impl, reused bool
 	}
 	implName := GeneratedImplName(g.Name, params)
 	if existing, err := db.ImplByName(implName); err == nil {
+		// Reuse is still an evaluation of the design point: make sure it
+		// is on record (a value-equal no-op when the first Generate at
+		// this point already recorded it).
+		if err := db.RecordExploration(Exploration{
+			Generator: g.Name,
+			Bindings:  BindingsKey(params),
+			Component: g.Component,
+			Width:     size,
+			Area:      existing.Area,
+			Delay:     existing.Delay,
+		}); err != nil {
+			return Impl{}, false, err
+		}
 		return existing, true, nil
 	}
 	area, delay, _, err := db.GeneratorCost(g, params)
@@ -338,6 +351,18 @@ func (db *DB) Generate(name string, params map[string]int) (im Impl, reused bool
 		return Impl{}, false, err
 	}
 	if err := db.RegisterEstimator(implName, "delay", g.DelayExpr); err != nil {
+		return Impl{}, false, err
+	}
+	// Every generated implementation is a design point of its generator's
+	// space; record it so Pareto queries see it without a separate sweep.
+	if err := db.RecordExploration(Exploration{
+		Generator: g.Name,
+		Bindings:  BindingsKey(params),
+		Component: g.Component,
+		Width:     size,
+		Area:      area,
+		Delay:     delay,
+	}); err != nil {
 		return Impl{}, false, err
 	}
 	return im, false, nil
@@ -420,6 +445,19 @@ func (db *DB) EstimateImpl(name string, width int) (area, delay, cost float64, e
 	a := make(Attrs, 8)
 	area, delay, err = ev.fill(&im, a)
 	if err != nil {
+		return 0, 0, 0, err
+	}
+	// An estimate is an evaluated design point too: record it under the
+	// implementation's name so frontier queries over a component see
+	// estimated stored implementations next to generator sweeps.
+	if err := db.RecordExploration(Exploration{
+		Generator: im.Name,
+		Bindings:  BindingsKey(map[string]int{"width": width}),
+		Component: im.Component,
+		Width:     width,
+		Area:      area,
+		Delay:     delay,
+	}); err != nil {
 		return 0, 0, 0, err
 	}
 	return area, delay, area*wa + delay*wd, nil

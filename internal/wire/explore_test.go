@@ -1,0 +1,124 @@
+package wire
+
+// End-to-end coverage of the design-space verbs over the wire. explore
+// sweeps, pareto frontiers, and the explorations listing stream as
+// ordinary Row frames through the per-session cql.Env, so the existing
+// cancel and quota machinery applies to them unchanged — the latter two
+// tests pin that down rather than assume it.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExploreAndParetoOverWire drives a sweep and a frontier query
+// through a TCP session and checks the streamed rows, including that
+// the recorded space is database state visible to a second session.
+func TestExploreAndParetoOverWire(t *testing.T) {
+	db := openDB(t)
+	_, addr := startServer(t, db)
+	c := dialT(t, addr)
+
+	lines := execLines(t, c, "explore gen_cnt width 4..16 step 4")
+	if len(lines) != 5 {
+		t.Fatalf("explore streamed %d rows: %q", len(lines), lines)
+	}
+	if !strings.HasPrefix(lines[0], "width   4: area 48 delay 2.25") {
+		t.Errorf("explore row = %q", lines[0])
+	}
+	if lines[4] != "explored 4 design point(s) of gen_cnt" {
+		t.Errorf("explore summary = %q", lines[4])
+	}
+
+	lines = execLines(t, c, "find pareto of generator gen_cnt dominated")
+	if len(lines) != 4 {
+		t.Fatalf("pareto streamed %d rows: %q", len(lines), lines)
+	}
+	if !strings.HasPrefix(lines[0], "1. gen_cnt[size=4]") {
+		t.Errorf("frontier row = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "dominated by gen_cnt[size=4] (Δarea 48, Δdelay 0.25)") {
+		t.Errorf("dominated row = %q", lines[1])
+	}
+
+	// Explorations are shared catalog state, not session state: a
+	// second client sees the same recorded space.
+	c2 := dialT(t, addr)
+	if got := execLines(t, c2, "show explorations"); len(got) != 4 {
+		t.Fatalf("second session lists %d explorations: %q", len(got), got)
+	}
+}
+
+// TestParetoRowQuotaOverWire: a dominated-frontier stream crossing the
+// session row quota is cut mid-stream with CodeQuota, exactly like an
+// ordinary find.
+func TestParetoRowQuotaOverWire(t *testing.T) {
+	db := openDB(t)
+	if _, err := db.Explore("gen_cnt", 1, 128, 1, nil, false); err != nil {
+		t.Fatal(err)
+	}
+	srv, ln := startPipeServerOpts(t, db, func(s *Server) {
+		s.Limits.MaxSessionRows = 10
+	})
+	c, err := NewClient(ln.dial(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	rows, err := c.Exec("find pareto of generator gen_cnt dominated", nil)
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Code != CodeQuota {
+		t.Fatalf("quota exec: err = %v, want RemoteError %s", err, CodeQuota)
+	}
+	if rows != 10 {
+		t.Fatalf("received %d rows before the quota error, want 10", rows)
+	}
+	if srv.Stats().QuotaHits != 1 {
+		t.Errorf("quota hits = %d, want 1", srv.Stats().QuotaHits)
+	}
+}
+
+// TestParetoCancelMidStreamOverWire: context cancellation aborts an
+// in-flight pareto stream with CodeCancelled and the session survives.
+func TestParetoCancelMidStreamOverWire(t *testing.T) {
+	db := openDB(t)
+	if _, err := db.Explore("gen_cnt", 1, 128, 1, nil, false); err != nil {
+		t.Fatal(err)
+	}
+	srv, ln := startPipeServerOpts(t, db, nil)
+	c, err := NewClient(ln.dial(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rows := 0
+	_, err = c.ExecContext(ctx, "find pareto of generator gen_cnt dominated", func(string) {
+		rows++
+		if rows == 1 {
+			// As in TestFaultExecContextCancel: hold the read loop on
+			// the synchronous pipe until the Cancel frame has landed,
+			// so the abort is deterministic.
+			cancel()
+			eventually(t, 5*time.Second, "cancel to land", func() bool {
+				return srv.Stats().Cancels >= 1
+			})
+		}
+	})
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Code != CodeCancelled {
+		t.Fatalf("cancelled exec: err = %v, want RemoteError %s", err, CodeCancelled)
+	}
+	if rows >= 128 {
+		t.Fatalf("cancel did not stop the stream (%d rows delivered)", rows)
+	}
+	if got := execLines(t, c, "show explorations"); len(got) != 128 {
+		t.Fatalf("session dead or space corrupted after cancel: %d rows", len(got))
+	}
+}

@@ -1,11 +1,11 @@
 #!/bin/sh
-# bench.sh — run the ICDB benchmark harness and emit the BENCH_PR8.json
+# bench.sh — run the ICDB benchmark harness and emit the BENCH_PR9.json
 # trajectory file at the repo root.
 #
 # Usage:
 #   scripts/bench.sh                    # default: 1k and 10k catalogs, 200-client wire scenario
 #   SIZES=1000 scripts/bench.sh         # small catalog only
-#   GUARD=1 scripts/bench.sh            # fail the perf guards (snapshot-vs-JSON, journal 5x/2x)
+#   GUARD=1 scripts/bench.sh            # fail the perf guards (snapshot-vs-JSON, journal 5x/2x, pareto 5x)
 #   CONNS=0 scripts/bench.sh            # skip the concurrent wire-server scenario
 #   CHAOS=1 scripts/bench.sh            # also run the wire scenario with hostile clients
 #   JWRITE=0 scripts/bench.sh           # skip the journal durability scenarios
@@ -13,7 +13,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 SIZES="${SIZES:-1000,10000}"
-OUT="${OUT:-BENCH_PR8.json}"
+OUT="${OUT:-BENCH_PR9.json}"
 BENCHTIME="${BENCHTIME:-300ms}"
 CONNS="${CONNS:-200}"
 JWRITE="${JWRITE:-10000}"
