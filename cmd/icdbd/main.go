@@ -8,6 +8,7 @@
 // Usage:
 //
 //	icdbd [-addr 127.0.0.1:7390] [-db catalog] [-save] [-designs dir]
+//	      [-open lazy|eager|auto]
 //	      [-journal] [-fsync always|off|<duration>] [-compact-at n]
 //	      [-secret token] [-maxconns n] [-maxcmds n] [-maxrows n]
 //	      [-idle d] [-wtimeout d] [-handshake d] [-grace d] [-v]
@@ -20,6 +21,16 @@
 // "expand <file>" commands may read designs from — without it,
 // expand-from-file is disabled (the safe default for a network
 // service).
+//
+// -open picks how a binary snapshot catalog is materialized. "lazy"
+// (also the "auto" default) decodes only the v4 section directory and
+// each table's schema at boot; a table's rows — and, under -journal,
+// its share of uncovered journal records — materialize on first touch,
+// so a large catalog serves its first query long before it is fully
+// decoded. "eager" decodes every section up front (in parallel for v4
+// snapshots). JSON catalogs and pre-v4 snapshots are always eager.
+// The boot log reports the effective mode and "show server" exposes
+// live hydration counters.
 //
 // -journal makes the catalog crash-safe incrementally persistent
 // (relstore.OpenDurable): every mutation is write-ahead logged to
@@ -86,6 +97,7 @@ func runServer(args []string, ready func(addr string), stop <-chan struct{}) err
 	dbPath := fs.String("db", "", "catalog file to load (JSON or snapshot); empty starts from the builtin seed")
 	save := fs.Bool("save", false, "save the catalog back to -db (as a binary snapshot) on graceful shutdown")
 	journal := fs.Bool("journal", false, "write-ahead journal every mutation to <db>.wal (crash-safe incremental persistence); requires -db, replaces -save")
+	openMode := fs.String("open", "auto", "snapshot open mode: lazy, eager, or auto (lazy for binary snapshots and -journal; JSON catalogs are always eager)")
 	fsync := fs.String("fsync", "always", "journal sync policy: always, off, or an interval like 100ms")
 	compactAt := fs.Int64("compact-at", 4<<20, "journal size in bytes that triggers compaction into the snapshot; <0 disables auto-compaction")
 	designs := fs.String("designs", "", "directory expand commands may read design files from; empty disables expand-from-file")
@@ -117,6 +129,10 @@ func runServer(args []string, ready func(addr string), stop <-chan struct{}) err
 	if err != nil {
 		return err
 	}
+	mode, err := parseOpenMode(*openMode)
+	if err != nil {
+		return err
+	}
 
 	var store *relstore.Store
 	var durable *relstore.Durable
@@ -129,6 +145,7 @@ func runServer(args []string, ready func(addr string), stop <-chan struct{}) err
 			Fsync:         policy,
 			FsyncInterval: interval,
 			CompactAt:     *compactAt,
+			Open:          mode,
 		})
 		if err != nil {
 			return err
@@ -137,7 +154,7 @@ func runServer(args []string, ready func(addr string), stop <-chan struct{}) err
 		store = durable.Store
 		log.Printf("journal %s: recovery %s", durable.Info().JournalPath, durable.Recovery())
 	case *dbPath != "":
-		if store, err = relstore.Load(*dbPath); err != nil {
+		if store, err = relstore.LoadWith(*dbPath, relstore.SnapshotOptions{Mode: mode}); err != nil {
 			if !errors.Is(err, os.ErrNotExist) {
 				return err
 			}
@@ -151,6 +168,15 @@ func runServer(args []string, ready func(addr string), stop <-chan struct{}) err
 		}
 	default:
 		store = relstore.New()
+	}
+	if *dbPath != "" {
+		li := store.LazyInfo()
+		bootMode := relstore.OpenEager
+		if li.Lazy {
+			bootMode = relstore.OpenLazy
+		}
+		log.Printf("catalog %s opened %s: %d section(s), %d journal record(s) deferred to hydration",
+			*dbPath, bootMode, li.Tables, li.DeferredPending)
 	}
 	db, err := icdb.Open(store)
 	if err != nil {
@@ -175,6 +201,7 @@ func runServer(args []string, ready func(addr string), stop <-chan struct{}) err
 	if durable != nil {
 		srv.Durability = durable.Info
 	}
+	srv.Hydration = store.LazyInfo
 	if *designs != "" {
 		srv.ReadFile = designReader(*designs)
 	}
@@ -245,6 +272,22 @@ func runServer(args []string, ready func(addr string), stop <-chan struct{}) err
 		log.Printf("catalog saved to %s", *dbPath)
 	}
 	return nil
+}
+
+// parseOpenMode maps the -open flag to a snapshot open mode. "auto"
+// (the default) asks for lazy open: v4 binary snapshots defer each
+// table's decode (and its share of journal replay) to first touch,
+// while JSON catalogs and pre-v4 snapshots — which have no section
+// directory — fall back to a full eager decode inside relstore, so
+// "auto" is safe to request unconditionally.
+func parseOpenMode(s string) (relstore.OpenMode, error) {
+	switch s {
+	case "auto", "lazy":
+		return relstore.OpenLazy, nil
+	case "eager":
+		return relstore.OpenEager, nil
+	}
+	return 0, fmt.Errorf("-open must be lazy, eager, or auto (got %q)", s)
 }
 
 // parseFsync maps the -fsync flag to a journal sync policy: "always",

@@ -306,6 +306,148 @@ func TestJournalDaemonRecoversTornTail(t *testing.T) {
 	}
 }
 
+// TestLazyOpenDaemon: the default -open auto boots a binary snapshot
+// catalog lazily — "show server" reports zero hydrated tables until a
+// query touches one — while -open eager materializes everything up
+// front. Both modes serve identical query results.
+func TestLazyOpenDaemon(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "catalog.icdb")
+	s := relstore.New()
+	if _, err := icdb.Open(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+
+	showServer := func(c *wire.Client) string {
+		t.Helper()
+		var info strings.Builder
+		if _, err := c.Exec("show server", func(line string) {
+			info.WriteString(line + "\n")
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return info.String()
+	}
+
+	addr, stop, done := startDaemon(t, "-db", path, "-save")
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before any query touches a relation, every section is still an
+	// undecoded stub: opening the catalog and asking "show server" must
+	// not hydrate anything.
+	if info := showServer(c); !strings.Contains(info, "open:         lazy, 0/") {
+		t.Errorf("lazy boot hydrated early:\n%s", info)
+	}
+	if n, err := c.Exec("show impls", nil); err != nil || n == 0 {
+		t.Fatalf("show impls under lazy open: n=%d err=%v", n, err)
+	}
+	info := showServer(c)
+	if strings.Contains(info, "open:         lazy, 0/") {
+		t.Errorf("query did not hydrate its relation:\n%s", info)
+	}
+	if !strings.Contains(info, "open:         lazy, ") {
+		t.Errorf("show server lost the lazy open line:\n%s", info)
+	}
+	c.Close()
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatalf("lazy daemon exit: %v", err)
+	}
+
+	// -open eager: fully materialized at boot, same answers.
+	addr, stop, done = startDaemon(t, "-db", path, "-save", "-open", "eager")
+	c, err = wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info := showServer(c); !strings.Contains(info, "open:         eager (fully materialized)") {
+		t.Errorf("eager boot not reported:\n%s", info)
+	}
+	if n, err := c.Exec("show impls", nil); err != nil || n == 0 {
+		t.Fatalf("show impls under eager open: n=%d err=%v", n, err)
+	}
+	c.Close()
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatalf("eager daemon exit: %v", err)
+	}
+}
+
+// TestLazyOpenJournalDaemon: -journal defaults to lazy open too; a
+// journaled write from a previous boot is deferred to hydration and
+// still visible to the first query that touches its table.
+func TestLazyOpenJournalDaemon(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "catalog.icdb")
+	// First boot: journal a write, then kill without compaction by
+	// closing the Durable directly (simulating a crash leaves the WAL
+	// uncovered by the snapshot).
+	d, err := relstore.OpenDurable(path, relstore.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := icdb.Open(d.Store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// A post-compaction mutation lands only in the journal.
+	if _, _, err := db.Generate("gen_cnt", map[string]int{"size": 24}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	addr, stop, done := startDaemon(t, "-db", path, "-journal")
+	c, err := wire.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info strings.Builder
+	if _, err := c.Exec("show server", func(line string) {
+		info.WriteString(line + "\n")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out := info.String()
+	if !strings.Contains(out, "open:         lazy, 0/") {
+		t.Errorf("journaled lazy boot hydrated early:\n%s", out)
+	}
+	if !strings.Contains(out, "deferred to hydration") && !strings.Contains(out, "deferred journal record(s) pending") {
+		t.Errorf("show server does not report deferred journal records:\n%s", out)
+	}
+	if n, err := c.Exec("show impls", nil); err != nil || n == 0 {
+		t.Fatalf("show impls under lazy journaled open: n=%d err=%v", n, err)
+	}
+	// Touching implementations hydrated that table and replayed its
+	// deferred journal records — records aimed at untouched tables stay
+	// pending (per-table deferral, not all-or-nothing).
+	info.Reset()
+	if _, err := c.Exec("show server", func(line string) {
+		info.WriteString(line + "\n")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out = info.String()
+	if strings.Contains(out, " 0 replayed") {
+		t.Errorf("deferred journal records not replayed at hydration:\n%s", out)
+	}
+	if !strings.Contains(out, "open:         lazy, ") {
+		t.Errorf("show server lost the lazy open line:\n%s", out)
+	}
+	c.Close()
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatalf("daemon exit: %v", err)
+	}
+}
+
 // TestJournalFlagValidation: -journal's flag interactions fail fast
 // with actionable errors.
 func TestJournalFlagValidation(t *testing.T) {
@@ -317,6 +459,7 @@ func TestJournalFlagValidation(t *testing.T) {
 		{[]string{"-journal", "-db", "x", "-save"}, "replaces -save"},
 		{[]string{"-journal", "-db", "x", "-fsync", "sometimes"}, "-fsync must be"},
 		{[]string{"-journal", "-db", "x", "-fsync", "-5s"}, "-fsync must be"},
+		{[]string{"-db", "x", "-open", "sideways"}, "-open must be"},
 	} {
 		err := run(tc.args)
 		if err == nil || !strings.Contains(err.Error(), tc.want) {

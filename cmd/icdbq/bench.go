@@ -81,6 +81,7 @@ type benchReport struct {
 	WireBenchChaos *wireBenchResult              `json:"wire_concurrent_clients_chaos,omitempty"`
 	Journal        *journalBenchResult           `json:"journal,omitempty"`
 	Explore        []exploreBenchResult          `json:"explore,omitempty"`
+	OpenLatency    []openBenchResult             `json:"open_latency,omitempty"`
 }
 
 func compare(name string, size int, baseline string, now, was benchMeasure) benchComparison {
@@ -110,6 +111,7 @@ func runBench(args []string) error {
 	jopen := fs.Int("jopen", 100000, "catalog size for the journal cold-open scenario")
 	jrecords := fs.Int("jrecords", 1000, "journal records replayed in the cold-open scenario")
 	explore := fs.Bool("explore", true, "run the design-space frontier scenario at each catalog size")
+	openlat := fs.String("openlat", "100000,1000000", "comma-separated row counts for the snapshot open-latency scenario (empty disables it)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -424,6 +426,52 @@ func runBench(args []string) error {
 			if jb.OpenRatio > 2 {
 				return fmt.Errorf("bench guard: durable open (%.0f ns/op) is %.2fx the snapshot-only open (%.0f ns/op) at %d rows, want <= 2x",
 					jb.DurableOpenNsPerOp, jb.OpenRatio, jb.SnapOpenNsPerOp, jb.OpenSize)
+			}
+		}
+	}
+
+	// Open-latency scenario: what v4's section directory buys at boot —
+	// lazy time-to-first-query against eager, parallel section decode
+	// against serial, and the v4 directory's overhead against v3.
+	if *openlat != "" {
+		var openSizes []int
+		for _, s := range strings.Split(*openlat, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				return fmt.Errorf("bad -openlat size %q", s)
+			}
+			openSizes = append(openSizes, n)
+		}
+		largest := openSizes[0]
+		for _, n := range openSizes {
+			if n > largest {
+				largest = n
+			}
+		}
+		for _, n := range openSizes {
+			ob, err := runOpenBench(benchgen.CacheDir(), n, 1, *benchtime)
+			if err != nil {
+				return fmt.Errorf("open bench: %w", err)
+			}
+			report.OpenLatency = append(report.OpenLatency, *ob)
+			fmt.Fprintf(os.Stderr, "open n=%d: ttfq lazy/eager %.3fx, parallel decode %.2fx serial, v4/v3 eager %.2fx\n",
+				n, ob.TTFQRatio, ob.ParallelSpeedup, ob.V4EagerOverV3)
+			if !*guard {
+				continue
+			}
+			if n == 100000 && ob.TTFQRatio > 0.2 {
+				return fmt.Errorf("bench guard: lazy time-to-first-query (%.0f ns/op) is %.3fx eager (%.0f ns/op) at %d rows, want <= 0.2x",
+					ob.TTFQLazyNsPerOp, ob.TTFQRatio, ob.TTFQEagerNsPerOp, n)
+			}
+			if n == largest {
+				if runtime.NumCPU() >= 4 && ob.ParallelSpeedup < 1.5 {
+					return fmt.Errorf("bench guard: parallel eager decode (%.0f ns/op) is only %.2fx serial (%.0f ns/op) at %d rows on %d CPUs, want >= 1.5x",
+						ob.V4ParallelNsPerOp, ob.ParallelSpeedup, ob.V4SerialNsPerOp, n, runtime.NumCPU())
+				}
+				if ob.V4EagerOverV3 > 1.1 {
+					return fmt.Errorf("bench guard: v4 eager open (%.0f ns/op) is %.2fx the v3 open (%.0f ns/op) at %d rows, want <= 1.1x",
+						ob.V4ParallelNsPerOp, ob.V4EagerOverV3, ob.V3EagerNsPerOp, n)
+				}
 			}
 		}
 	}

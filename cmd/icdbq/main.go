@@ -13,7 +13,7 @@
 //	icdbq expand <design.iif|-> [param=value...]
 //	icdbq generate <generator|component> param=value...
 //	icdbq estimate <impl> width=<bits> [area|delay|cost]
-//	icdbq bench [-sizes 1000,10000] [-out BENCH_PR9.json] [-benchtime 300ms] [-guard] [-conns 200] [-chaos] [-jwrite 10000] [-jopen 100000] [-jrecords 1000] [-explore]
+//	icdbq bench [-sizes 1000,10000] [-out BENCH_PR10.json] [-benchtime 300ms] [-guard] [-conns 200] [-chaos] [-jwrite 10000] [-jopen 100000] [-jrecords 1000] [-explore] [-openlat 100000,1000000]
 //
 // The usage lines above are generated from the command table in
 // usage.go and verified by TestDocCommentMatchesUsage; edit them there.
@@ -49,6 +49,10 @@ func run(args []string) error {
 	case args[0] == "bench":
 		// Benchmarks build their own catalogs; no seeded DB needed.
 		return runBench(args[1:])
+	case args[0] == "_openprobe":
+		// Internal: one open-latency measurement in a fresh process,
+		// exec'd by "bench" (see openbench.go). Not in the usage table.
+		return runOpenProbe(args[1:])
 	case args[0] == "connect":
 		// Client mode talks to an icdbd server; no local DB at all.
 		return runConnect(args[1:])

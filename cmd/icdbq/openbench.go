@@ -1,0 +1,303 @@
+// openbench.go implements the open-latency scenario of "icdbq bench":
+// what snapshot format v4's section directory buys at boot. Two catalog
+// shapes drive it. A balanced catalog (a third implementations, the
+// rest explorations, estimators alongside) makes every heavy section
+// carry weight, so eager parallel section decode and the v4-over-v3
+// encoding overhead are both visible. A skewed catalog (a fixed 1000
+// implementations next to n explorations) is the shape lazy open
+// exists for: the first query touches only the small implementations
+// section, so time-to-first-query should not pay for the point cloud.
+//
+// Every variant is measured in its own subprocess (the hidden
+// "_openprobe" subcommand): opening a multi-gigabyte catalog leaves
+// allocator and GC state behind that measurably distorts whatever runs
+// next in the same process — enough to flip a v4-vs-v3 comparison —
+// and a fresh process per variant is also what the metric means in
+// practice, since a cold open happens once per tool boot.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"testing"
+
+	"icdb/internal/benchgen"
+	"icdb/internal/icdb"
+	"icdb/internal/relstore"
+)
+
+// openBenchResult is one size's entry in the "open_latency" section of
+// the bench report.
+type openBenchResult struct {
+	Size          int   `json:"size"`
+	Sections      int   `json:"sections"`
+	SnapshotBytes int64 `json:"snapshot_bytes"`
+
+	// Full-materialization opens of the balanced catalog.
+	V3EagerNsPerOp    float64 `json:"open_v3_eager_ns_per_op"`
+	V4ParallelNsPerOp float64 `json:"open_v4_eager_parallel_ns_per_op"`
+	V4SerialNsPerOp   float64 `json:"open_v4_eager_serial_ns_per_op"`
+	V4LazyNsPerOp     float64 `json:"open_v4_lazy_ns_per_op"`
+	ParallelSpeedup   float64 `json:"parallel_decode_speedup"`  // serial / parallel, bigger is better
+	V4EagerOverV3     float64 `json:"v4_eager_over_v3"`         // parallel v4 / v3, smaller is better
+	LazyOverEager     float64 `json:"lazy_open_over_v4_serial"` // lazy / serial v4, smaller is better
+
+	// Time-to-first-query on the skewed catalog: open + icdb.Open +
+	// one ImplByName.
+	TTFQLazyNsPerOp  float64 `json:"ttfq_lazy_ns_per_op"`
+	TTFQEagerNsPerOp float64 `json:"ttfq_eager_ns_per_op"`
+	TTFQRatio        float64 `json:"ttfq_lazy_over_eager"` // lazy / eager, smaller is better
+}
+
+// openProbeVariants maps -variant names to open calls. The probe and
+// the parent agree on these names.
+var openProbeVariants = map[string]func(path string) (*relstore.Store, error){
+	"v3": func(path string) (*relstore.Store, error) {
+		return relstore.LoadSnapshot(path)
+	},
+	"parallel": func(path string) (*relstore.Store, error) {
+		return relstore.OpenSnapshot(path, relstore.SnapshotOptions{})
+	},
+	"serial": func(path string) (*relstore.Store, error) {
+		return relstore.OpenSnapshot(path, relstore.SnapshotOptions{Workers: 1})
+	},
+	"lazy": func(path string) (*relstore.Store, error) {
+		return relstore.OpenSnapshot(path, relstore.SnapshotOptions{Mode: relstore.OpenLazy})
+	},
+}
+
+// runOpenProbe implements the hidden "_openprobe" subcommand: measure
+// one open variant against one snapshot file in this (fresh) process
+// and print the benchMeasure as JSON on stdout.
+func runOpenProbe(args []string) error {
+	fs := flag.NewFlagSet("_openprobe", flag.ContinueOnError)
+	path := fs.String("path", "", "snapshot file to open")
+	variant := fs.String("variant", "", "v3, parallel, serial, or lazy")
+	query := fs.Bool("query", false, "follow the open with icdb.Open and one ImplByName (time-to-first-query)")
+	benchtime := fs.String("benchtime", "100ms", "per-benchmark measuring time")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	open, ok := openProbeVariants[*variant]
+	if !ok {
+		return fmt.Errorf("-variant must be v3, parallel, serial, or lazy (got %q)", *variant)
+	}
+	testing.Init()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		return err
+	}
+	// Warm the page cache off the clock: whether the snapshot file is
+	// resident depends on what the parent process did lately, and a
+	// cold read of a gigabyte-scale file would swamp the decode being
+	// compared. Every variant therefore times a warm-cache open.
+	if _, err := os.ReadFile(*path); err != nil {
+		return err
+	}
+	runtime.GC()
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s, err := open(*path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if *query {
+				db, err := icdb.Open(s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := db.ImplByName(benchgen.NameOf(0)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			s = nil
+			// Level the heap between iterations, off the clock, so
+			// iteration k is not measured against iteration k-1's
+			// garbage.
+			b.StopTimer()
+			runtime.GC()
+			b.StartTimer()
+		}
+	})
+	out, err := json.Marshal(benchMeasure{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(out))
+	return nil
+}
+
+// runOpenBench measures the open-latency scenario at n total rows,
+// building (or reusing) the catalog snapshots under cacheDir. benchtime
+// is forwarded to each probe subprocess.
+func runOpenBench(cacheDir string, n, seed int, benchtime string) (*openBenchResult, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, fmt.Errorf("open bench: locating own binary for probe subprocesses: %w", err)
+	}
+	probe := func(name, variant, path string, query bool) (benchMeasure, error) {
+		args := []string{"_openprobe", "-path", path, "-variant", variant, "-benchtime", benchtime}
+		if query {
+			args = append(args, "-query")
+		}
+		cmd := exec.Command(exe, args...)
+		cmd.Stderr = os.Stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return benchMeasure{}, fmt.Errorf("open probe %s: %w", name, err)
+		}
+		var m benchMeasure
+		if err := json.Unmarshal(bytes.TrimSpace(out), &m); err != nil {
+			return benchMeasure{}, fmt.Errorf("open probe %s: bad output %q: %w", name, out, err)
+		}
+		m.Name, m.Size = name, n
+		fmt.Fprintf(os.Stderr, "%-28s n=%-7d %12.0f ns/op %8d allocs/op\n", name, n, m.NsPerOp, m.AllocsPerOp)
+		return m, nil
+	}
+
+	res := &openBenchResult{Size: n}
+
+	// --- Balanced catalog: v3 vs v4, serial vs parallel, lazy ---
+	balanced := benchgen.CatalogSpec{Impls: n / 3, Expls: n - n/3, Estimators: true, Seed: seed, Version: 4}
+	fmt.Fprintf(os.Stderr, "open scenario: balanced catalog at n=%d (cached under %s)...\n", n, cacheDir)
+	v4Path, err := benchgen.CachedCatalog(cacheDir, balanced)
+	if err != nil {
+		return nil, err
+	}
+	balanced.Version = 3
+	v3Path, err := benchgen.CachedCatalog(cacheDir, balanced)
+	if err != nil {
+		return nil, err
+	}
+	if fi, err := os.Stat(v4Path); err == nil {
+		res.SnapshotBytes = fi.Size()
+	}
+
+	// Untimed validation pass: the v4 and v3 files must agree on the
+	// catalog before their timings mean anything. Lazy opens keep the
+	// validation itself cheap at 1M rows.
+	probeStore, err := relstore.OpenSnapshot(v4Path, relstore.SnapshotOptions{Mode: relstore.OpenLazy})
+	if err != nil {
+		return nil, err
+	}
+	res.Sections = probeStore.LazyInfo().Tables
+	nImpls, err := probeStore.Count(icdb.TableImplementations, nil)
+	if err != nil {
+		return nil, err
+	}
+	v3Probe, err := relstore.LoadSnapshot(v3Path)
+	if err != nil {
+		return nil, err
+	}
+	nImpls3, err := v3Probe.Count(icdb.TableImplementations, nil)
+	if err != nil {
+		return nil, err
+	}
+	if nImpls != nImpls3 {
+		return nil, fmt.Errorf("open bench: v4 catalog holds %d implementations, v3 %d", nImpls, nImpls3)
+	}
+	probeStore, v3Probe = nil, nil
+	runtime.GC()
+
+	v3, err := probe("open_v3_eager", "v3", v3Path, false)
+	if err != nil {
+		return nil, err
+	}
+	v4p, err := probe("open_v4_eager_parallel", "parallel", v4Path, false)
+	if err != nil {
+		return nil, err
+	}
+	v4s, err := probe("open_v4_eager_serial", "serial", v4Path, false)
+	if err != nil {
+		return nil, err
+	}
+	v4l, err := probe("open_v4_lazy", "lazy", v4Path, false)
+	if err != nil {
+		return nil, err
+	}
+	res.V3EagerNsPerOp = v3.NsPerOp
+	res.V4ParallelNsPerOp = v4p.NsPerOp
+	res.V4SerialNsPerOp = v4s.NsPerOp
+	res.V4LazyNsPerOp = v4l.NsPerOp
+	if v4p.NsPerOp > 0 {
+		res.ParallelSpeedup = v4s.NsPerOp / v4p.NsPerOp
+	}
+	if v3.NsPerOp > 0 {
+		res.V4EagerOverV3 = v4p.NsPerOp / v3.NsPerOp
+	}
+	if v4s.NsPerOp > 0 {
+		res.LazyOverEager = v4l.NsPerOp / v4s.NsPerOp
+	}
+
+	// --- Skewed catalog: time-to-first-query, lazy vs eager ---
+	skewed := benchgen.CatalogSpec{Impls: 1000, Expls: n, Seed: seed, Version: 4}
+	fmt.Fprintf(os.Stderr, "open scenario: skewed catalog at n=%d...\n", n)
+	skewPath, err := benchgen.CachedCatalog(cacheDir, skewed)
+	if err != nil {
+		return nil, err
+	}
+
+	// First-query validation: the lazy path must return the same
+	// implementation the eager path does, while leaving the exploration
+	// cloud cold (that cold section is the entire point of the ratio).
+	firstQuery := func(mode relstore.OpenMode) (icdb.Impl, *relstore.Store, error) {
+		s, err := relstore.OpenSnapshot(skewPath, relstore.SnapshotOptions{Mode: mode})
+		if err != nil {
+			return icdb.Impl{}, nil, err
+		}
+		db, err := icdb.Open(s)
+		if err != nil {
+			return icdb.Impl{}, nil, err
+		}
+		im, err := db.ImplByName(benchgen.NameOf(0))
+		return im, s, err
+	}
+	lazyIm, lazyStore, err := firstQuery(relstore.OpenLazy)
+	if err != nil {
+		return nil, err
+	}
+	eagerIm, _, err := firstQuery(relstore.OpenEager)
+	if err != nil {
+		return nil, err
+	}
+	if lazyIm.Name != eagerIm.Name || lazyIm.Area != eagerIm.Area {
+		return nil, fmt.Errorf("open bench: lazy first query returned %s/%g, eager %s/%g",
+			lazyIm.Name, lazyIm.Area, eagerIm.Name, eagerIm.Area)
+	}
+	coldExplorations := false
+	for _, t := range lazyStore.LazyInfo().PendingTables {
+		if t == icdb.TableExplorations {
+			coldExplorations = true
+		}
+	}
+	if !coldExplorations {
+		return nil, fmt.Errorf("open bench: the lazy first query hydrated the exploration cloud (pending: %v)",
+			lazyStore.LazyInfo().PendingTables)
+	}
+	lazyStore = nil
+	runtime.GC()
+
+	tl, err := probe("ttfq_lazy", "lazy", skewPath, true)
+	if err != nil {
+		return nil, err
+	}
+	te, err := probe("ttfq_eager", "parallel", skewPath, true)
+	if err != nil {
+		return nil, err
+	}
+	res.TTFQLazyNsPerOp = tl.NsPerOp
+	res.TTFQEagerNsPerOp = te.NsPerOp
+	if te.NsPerOp > 0 {
+		res.TTFQRatio = tl.NsPerOp / te.NsPerOp
+	}
+	return res, nil
+}

@@ -6,7 +6,7 @@ import "strings"
 // the single source of truth for the bench -out flag default and for
 // every usage string naming it; TestDocCommentMatchesUsage keeps the
 // package doc comment in sync.
-const defaultBenchOut = "BENCH_PR9.json"
+const defaultBenchOut = "BENCH_PR10.json"
 
 // command describes one icdbq subcommand. The table below is the single
 // source of truth for usage output: runtime usage errors are generated
@@ -27,7 +27,7 @@ func commands() []command {
 		{"expand", "icdbq expand <design.iif|-> [param=value...]"},
 		{"generate", "icdbq generate <generator|component> param=value..."},
 		{"estimate", "icdbq estimate <impl> width=<bits> [area|delay|cost]"},
-		{"bench", "icdbq bench [-sizes 1000,10000] [-out " + defaultBenchOut + "] [-benchtime 300ms] [-guard] [-conns 200] [-chaos] [-jwrite 10000] [-jopen 100000] [-jrecords 1000] [-explore]"},
+		{"bench", "icdbq bench [-sizes 1000,10000] [-out " + defaultBenchOut + "] [-benchtime 300ms] [-guard] [-conns 200] [-chaos] [-jwrite 10000] [-jopen 100000] [-jrecords 1000] [-explore] [-openlat 100000,1000000]"},
 	}
 }
 

@@ -1,0 +1,163 @@
+// catalog.go grows benchgen to open-latency scale. The open benchmarks
+// need million-row snapshot files, which the RegisterImpl path cannot
+// build in reasonable time (it parses every implementation's IIF
+// source), and which are too expensive to regenerate on every bench
+// run. So this file provides raw-row population — upserting
+// relation-shaped rows straight into the store, skipping per-row
+// validation the synthetic rows satisfy by construction — plus an
+// on-disk cache of generated snapshot files keyed by catalog spec
+// (table mix, size, seed, format version), built once per machine and
+// reused by every later run.
+package benchgen
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"icdb/internal/genus"
+	"icdb/internal/icdb"
+	"icdb/internal/relstore"
+)
+
+// RawImplRow returns implementation i as a raw implementations-relation
+// row, shaped exactly as RegisterImpl would store ImplAt(i) except for
+// an empty IIF source: at catalog scale the source text would dominate
+// snapshot size (and its parse the build time) without changing what
+// the open and query paths measure.
+func RawImplRow(i int) relstore.Row {
+	im := ImplAt(i)
+	return relstore.Row{
+		"name":      im.Name,
+		"component": string(im.Component),
+		"style":     im.Style,
+		"functions": genus.FunctionSetKey(im.Functions),
+		"width_min": im.WidthMin,
+		"width_max": im.WidthMax,
+		"stages":    im.Stages,
+		"area":      im.Area,
+		"delay":     im.Delay,
+		"params":    "size",
+		"source":    "",
+	}
+}
+
+// PopulateRaw upserts n synthetic implementation rows straight into the
+// store, bypassing RegisterImpl's per-row IIF parse. The rows decode
+// into the same implementations ImplAt describes (minus source), so the
+// query benchmarks' lookups by NameOf(i) keep working.
+func PopulateRaw(s *relstore.Store, n int) error {
+	for i := 0; i < n; i++ {
+		if err := s.Upsert(icdb.TableImplementations, RawImplRow(i)); err != nil {
+			return fmt.Errorf("benchgen: raw impl %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ExplorationRowAt returns the i-th synthetic exploration row for seed:
+// a recorded design point whose bindings string makes the
+// (generator, bindings) key unique per i, clustered under the first
+// 1024 synthetic implementation names so per-generator posting lists
+// hold non-trivial point clouds.
+func ExplorationRowAt(seed, i int) relstore.Row {
+	cts := genus.AllComponentTypes()
+	j := i + seed*7919
+	return relstore.Row{
+		"generator": NameOf(i % 1024),
+		"bindings":  fmt.Sprintf("size=%d", i),
+		"component": string(cts[j%len(cts)]),
+		"width":     1 + j%128,
+		"area":      float64(1 + (j*29)%9973),
+		"delay":     float64(1 + (j*17)%499),
+	}
+}
+
+// PopulateExplorations upserts n synthetic exploration rows for seed.
+func PopulateExplorations(s *relstore.Store, seed, n int) error {
+	for i := 0; i < n; i++ {
+		if err := s.Upsert(icdb.TableExplorations, ExplorationRowAt(seed, i)); err != nil {
+			return fmt.Errorf("benchgen: exploration %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// PopulateRawEstimators upserts the same estimator pair per
+// implementation that PopulateEstimators registers ("area * width" and
+// a constant "delay"), without the per-expression parse validation the
+// fixed expressions cannot fail.
+func PopulateRawEstimators(s *relstore.Store, n int) error {
+	for i := 0; i < n; i++ {
+		name := NameOf(i)
+		if err := s.Upsert(icdb.TableEstimators, relstore.Row{"impl": name, "attr": "area", "expr": "area * width"}); err != nil {
+			return fmt.Errorf("benchgen: raw estimator %d: %w", i, err)
+		}
+		if err := s.Upsert(icdb.TableEstimators, relstore.Row{"impl": name, "attr": "delay", "expr": "delay"}); err != nil {
+			return fmt.Errorf("benchgen: raw estimator %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CatalogSpec identifies one synthetic catalog snapshot in the on-disk
+// cache. Generation is fully deterministic in the spec, so equal specs
+// name interchangeable files.
+type CatalogSpec struct {
+	Impls      int  // raw implementation rows
+	Expls      int  // exploration rows
+	Estimators bool // estimator pair per implementation
+	Seed       int  // perturbs the exploration attribute mixers
+	Version    int  // snapshot format version: 3 or 4
+}
+
+// CacheDir returns the stable per-machine location of the benchgen
+// catalog cache. Generating the million-row catalogs dominates the
+// open-latency scenario's wall time, so cached files deliberately
+// outlive the bench run's own temp directory.
+func CacheDir() string { return filepath.Join(os.TempDir(), "icdb-benchgen-cache") }
+
+// CachedCatalog returns the path of the snapshot file holding spec's
+// catalog under dir, building it on first use. SaveSnapshot writes
+// atomically, so a crashed build never leaves a half-written file
+// behind the cache key.
+func CachedCatalog(dir string, spec CatalogSpec) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("catalog-i%d-x%d-e%t-s%d-v%d.snap",
+		spec.Impls, spec.Expls, spec.Estimators, spec.Seed, spec.Version))
+	if _, err := os.Stat(path); err == nil {
+		return path, nil
+	}
+	store, err := BuildCatalog(spec)
+	if err != nil {
+		return "", err
+	}
+	if err := store.SaveSnapshotVersion(path, spec.Version); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// BuildCatalog materializes spec's catalog in memory: the ICDB schemas
+// and builtin library, then the spec'd raw implementation, exploration,
+// and estimator rows.
+func BuildCatalog(spec CatalogSpec) (*relstore.Store, error) {
+	store := relstore.New()
+	if _, err := icdb.Open(store); err != nil {
+		return nil, err
+	}
+	if err := PopulateRaw(store, spec.Impls); err != nil {
+		return nil, err
+	}
+	if err := PopulateExplorations(store, spec.Seed, spec.Expls); err != nil {
+		return nil, err
+	}
+	if spec.Estimators {
+		if err := PopulateRawEstimators(store, spec.Impls); err != nil {
+			return nil, err
+		}
+	}
+	return store, nil
+}

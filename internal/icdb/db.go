@@ -201,14 +201,21 @@ type DB struct {
 	// computed from the store (guarded by mu).
 	nextInstID int
 
-	// cmu guards the der pointer and the weight cache below. The derived
-	// state itself lives in a copy-on-write *derived snapshot (same
+	// cmu guards the der/est pointers and the weight cache below. The
+	// derived state itself lives in copy-on-write snapshots (same
 	// discipline as relstore's tableData): readers pin the current
 	// snapshot under a brief RLock and iterate it lock-free, so streamed
 	// query visitors may take as long as they like — and re-enter the DB —
 	// without blocking RegisterImpl or each other.
+	//
+	// The two pieces build independently, each from a scan of only its
+	// own relation (ensureIndexes / ensureEstimators): a width-free query
+	// touches implementations but never estimators, and a lazily opened
+	// store (relstore.OpenLazy) hydrates only the relations the session's
+	// queries actually reach.
 	cmu sync.RWMutex
-	der *derived // nil until built; see ensureIndexes / InvalidateCaches
+	der *derived  // impl cache + inverted indexes; nil until built
+	est *estCache // compiled estimators; nil until built
 	// Cached ranking weights (tool "icdb"), refreshed after SetToolParam.
 	wa, wd float64
 	wOK    bool
@@ -223,10 +230,10 @@ type DB struct {
 }
 
 // derived is one immutable-once-shared snapshot of the DB's derived
-// read-path state: the decoded-implementation cache, the two inverted
-// indexes, and the compiled estimators. Cached *Impl and *estPair values
-// are shared between snapshots and treated as immutable; mutators swap
-// in fresh values instead of editing in place.
+// read-path state over the implementations relation: the decoded-
+// implementation cache and the two inverted indexes. Cached *Impl
+// values are shared between snapshots and treated as immutable;
+// mutators swap in fresh values instead of editing in place.
 //
 // shared flips to true the moment a reader pins the snapshot
 // (derivedSnap, under cmu.RLock); mutators (under cmu.Lock) then clone
@@ -237,20 +244,17 @@ type derived struct {
 	impls  map[string]*Impl                         // name -> decoded implementation
 	byFn   map[genus.Function]map[string]*Impl      // function -> posting map
 	byCt   map[genus.ComponentType]map[string]*Impl // component type -> posting map
-	ests   map[string]*estPair                      // impl name -> compiled estimators
 	shared atomic.Bool
 }
 
 // clone deep-copies the snapshot's map spines — outer maps and posting
-// maps — sharing the *Impl and *estPair values, which are immutable.
-// The clone starts unshared: the writer owns it until the next reader
-// pins it.
+// maps — sharing the *Impl values, which are immutable. The clone
+// starts unshared: the writer owns it until the next reader pins it.
 func (d *derived) clone() *derived {
 	nd := &derived{
 		impls: make(map[string]*Impl, len(d.impls)),
 		byFn:  make(map[genus.Function]map[string]*Impl, len(d.byFn)),
 		byCt:  make(map[genus.ComponentType]map[string]*Impl, len(d.byCt)),
-		ests:  make(map[string]*estPair, len(d.ests)),
 	}
 	for k, v := range d.impls {
 		nd.impls[k] = v
@@ -269,10 +273,26 @@ func (d *derived) clone() *derived {
 		}
 		nd.byCt[ct] = np
 	}
-	for k, v := range d.ests {
-		nd.ests[k] = v
-	}
 	return nd
+}
+
+// estCache is the compiled-estimator half of the derived state, built
+// from a scan of only the estimators relation (ensureEstimators) —
+// independently of the implementation indexes, so width-free queries
+// and sessions that never evaluate a width point leave the estimators
+// relation untouched (and, under a lazy open, undecoded). Same
+// copy-on-write discipline as derived.
+type estCache struct {
+	ests   map[string]*estPair // impl name -> compiled estimators
+	shared atomic.Bool
+}
+
+func (e *estCache) clone() *estCache {
+	ne := &estCache{ests: make(map[string]*estPair, len(e.ests))}
+	for k, v := range e.ests {
+		ne.ests[k] = v
+	}
+	return ne
 }
 
 // derivedSnap pins and returns the live derived snapshot, building it
@@ -295,6 +315,24 @@ func (db *DB) derivedSnap() (*derived, error) {
 	}
 }
 
+// estSnap pins and returns the live estimator cache, building it first
+// when necessary — same protocol as derivedSnap, over the estimators
+// relation alone.
+func (db *DB) estSnap() (*estCache, error) {
+	for {
+		db.cmu.RLock()
+		if e := db.est; e != nil {
+			e.shared.Store(true)
+			db.cmu.RUnlock()
+			return e, nil
+		}
+		db.cmu.RUnlock()
+		if err := db.ensureEstimators(); err != nil {
+			return nil, err
+		}
+	}
+}
+
 // writableDerived returns a derived snapshot the caller may mutate.
 // Must be called with cmu held exclusively; if the live snapshot has
 // been pinned by a reader it is cloned first and the clone installed.
@@ -303,6 +341,14 @@ func (db *DB) writableDerived() *derived {
 		db.der = db.der.clone()
 	}
 	return db.der
+}
+
+// writableEsts is writableDerived for the estimator cache.
+func (db *DB) writableEsts() *estCache {
+	if db.est.shared.Load() {
+		db.est = db.est.clone()
+	}
+	return db.est
 }
 
 // estPair holds one implementation's compiled estimator expressions; a
@@ -316,18 +362,28 @@ type estPair struct {
 // and (re)seeds the components relation from the GENUS catalog plus the
 // builtin parameterized implementation library. Opening a store that
 // already holds ICDB tables (e.g. one read with relstore.Load) is
-// idempotent: the components relation is refreshed from GENUS, while
-// implementation rows that already exist — including user-tuned versions
-// of builtin names — are left untouched.
+// idempotent: implementation rows that already exist — including
+// user-tuned versions of builtin names — are left untouched.
+//
+// A store that already holds every ICDB relation skips seeding entirely,
+// so Open reads no rows: under a lazy snapshot open (relstore.OpenLazy)
+// every table stays an undecoded stub until a query touches it. Only a
+// catalog missing some relation (created by an older build) pays the
+// seeding probes, which is also what backfills the new relations.
 func Open(store *relstore.Store) (*DB, error) {
 	db := &DB{store: store}
+	complete := true
 	for _, sc := range Schemas() {
 		if _, err := store.SchemaOf(sc.Table); err == nil {
 			continue
 		}
+		complete = false
 		if err := store.CreateTable(sc); err != nil {
 			return nil, fmt.Errorf("icdb: bootstrap: %w", err)
 		}
+	}
+	if complete {
+		return db, nil
 	}
 	for _, ct := range genus.AllComponentTypes() {
 		row := relstore.Row{
@@ -387,12 +443,14 @@ func (db *DB) InvalidateCaches() {
 	db.cmu.Lock()
 	defer db.cmu.Unlock()
 	db.der = nil
+	db.est = nil
 	db.wOK = false
 }
 
 // ensureIndexes builds the decoded-implementation cache and the inverted
 // indexes from one no-copy scan of the implementations relation, if they
-// are not already live.
+// are not already live. The estimator cache builds separately
+// (ensureEstimators): each piece touches only its own relation.
 func (db *DB) ensureIndexes() error {
 	db.cmu.RLock()
 	built := db.der != nil
@@ -409,7 +467,6 @@ func (db *DB) ensureIndexes() error {
 		impls: make(map[string]*Impl),
 		byFn:  make(map[genus.Function]map[string]*Impl),
 		byCt:  make(map[genus.ComponentType]map[string]*Impl),
-		ests:  make(map[string]*estPair),
 	}
 	err := db.store.Scan(TableImplementations, nil, func(r relstore.Row) bool {
 		im := rowImpl(r)
@@ -419,15 +476,34 @@ func (db *DB) ensureIndexes() error {
 	if err != nil {
 		return err
 	}
+	db.der = d
+	return nil
+}
+
+// ensureEstimators compiles the estimator cache from one scan of the
+// estimators relation, if it is not already live.
+func (db *DB) ensureEstimators() error {
+	db.cmu.RLock()
+	built := db.est != nil
+	db.cmu.RUnlock()
+	if built {
+		return nil
+	}
+	db.cmu.Lock()
+	defer db.cmu.Unlock()
+	if db.est != nil {
+		return nil
+	}
+	ec := &estCache{ests: make(map[string]*estPair)}
 	var estErr error
-	err = db.store.Scan(TableEstimators, nil, func(r relstore.Row) bool {
+	err := db.store.Scan(TableEstimators, nil, func(r relstore.Row) bool {
 		impl, attr := asString(r["impl"]), asString(r["attr"])
 		e, perr := iif.ParseExpr(asString(r["expr"]))
 		if perr != nil {
 			estErr = fmt.Errorf("icdb: estimator %s(%s): %w", attr, impl, perr)
 			return false
 		}
-		setEstimator(d.ests, impl, attr, e)
+		setEstimator(ec.ests, impl, attr, e)
 		return true
 	})
 	if err != nil {
@@ -436,7 +512,7 @@ func (db *DB) ensureIndexes() error {
 	if estErr != nil {
 		return estErr
 	}
-	db.der = d
+	db.est = ec
 	return nil
 }
 
@@ -459,15 +535,15 @@ func setEstimator(ests map[string]*estPair, impl, attr string, e iif.Expr) {
 }
 
 // noteEstimator records a freshly registered estimator in the live cache
-// (a no-op while the derived state is unbuilt — the next ensureIndexes
-// picks the row up from the store).
+// (a no-op while the estimator cache is unbuilt — the next
+// ensureEstimators picks the row up from the store).
 func (db *DB) noteEstimator(impl, attr string, e iif.Expr) {
 	db.cmu.Lock()
 	defer db.cmu.Unlock()
-	if db.der == nil {
+	if db.est == nil {
 		return
 	}
-	setEstimator(db.writableDerived().ests, impl, attr, e)
+	setEstimator(db.writableEsts().ests, impl, attr, e)
 }
 
 // indexImpl files im under its name, functions, and component type,

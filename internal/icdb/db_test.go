@@ -410,3 +410,65 @@ func names(cands []Candidate) []string {
 	}
 	return out
 }
+
+// TestOpenLazyTouchesNothing: opening a DB over a lazily opened
+// snapshot must not hydrate any relation — Open's seed-skip, the
+// per-relation derived caches, and schema-only checks all answer from
+// the stubs. Queries then hydrate only the relations they actually
+// read: a width-free scan never builds the estimator cache.
+func TestOpenLazyTouchesNothing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cat.snap")
+	seed := relstore.New()
+	if _, err := Open(seed); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	store, err := relstore.OpenSnapshot(path, relstore.SnapshotOptions{Mode: relstore.OpenLazy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	li := store.LazyInfo()
+	if !li.Lazy || li.Hydrated != 0 {
+		t.Fatalf("Open hydrated %d/%d tables; a complete catalog must stay cold (%+v)", li.Hydrated, li.Tables, li)
+	}
+
+	// A width-free query touches implementations (rows + derived
+	// indexes) but must not hydrate the estimators relation.
+	cands, err := db.QueryByFunction(genus.FuncSTORAGE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no STORAGE candidates from the builtin library")
+	}
+	if pending(store, TableEstimators) != true {
+		t.Error("width-free query hydrated the estimators relation")
+	}
+	if pending(store, TableImplementations) {
+		t.Error("query did not hydrate the implementations relation")
+	}
+
+	// A width-point query needs the estimator cache — now it hydrates.
+	if _, err := db.QueryByFunction(genus.FuncSTORAGE, AtWidth(8)); err != nil {
+		t.Fatal(err)
+	}
+	if pending(store, TableEstimators) {
+		t.Error("width query did not hydrate the estimators relation")
+	}
+}
+
+// pending reports whether a lazily opened relation is still a cold stub.
+func pending(s *relstore.Store, table string) bool {
+	for _, n := range s.LazyInfo().PendingTables {
+		if n == table {
+			return true
+		}
+	}
+	return false
+}

@@ -437,11 +437,11 @@ func (db *DB) EstimateImpl(name string, width int) (area, delay, cost float64, e
 			name, width, im.WidthMin, im.WidthMax)
 	}
 	wa, wd := db.rankWeights()
-	d, err := db.derivedSnap()
+	es, err := db.estSnap()
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	ev := attrEval{ests: d.ests, width: width}
+	ev := attrEval{ests: es.ests, width: width}
 	a := make(Attrs, 8)
 	area, delay, err = ev.fill(&im, a)
 	if err != nil {

@@ -631,7 +631,16 @@ func (db *DB) rankSeq(seq implSeq, cs []Constraint, k int, order Order) ([]Candi
 	if err != nil {
 		return nil, err
 	}
-	ev := attrEval{ests: d.ests, width: width}
+	ev := attrEval{width: width}
+	if width != 0 {
+		// Estimators only evaluate at a width point; a width-free query
+		// never builds (or, lazily, decodes) the estimators relation.
+		es, err := db.estSnap()
+		if err != nil {
+			return nil, err
+		}
+		ev.ests = es.ests
+	}
 	var kept []heapItem
 	var attrs Attrs
 	var cerr error
@@ -685,7 +694,14 @@ func (db *DB) scanSeq(seq implSeq, cs []Constraint, visit func(Candidate) bool) 
 	if err != nil {
 		return err
 	}
-	ev := attrEval{ests: d.ests, width: width}
+	ev := attrEval{width: width}
+	if width != 0 {
+		es, err := db.estSnap()
+		if err != nil {
+			return err
+		}
+		ev.ests = es.ests
+	}
 	var attrs Attrs
 	var cerr error
 	err = seq(d, func(im *Impl) bool {

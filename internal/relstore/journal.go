@@ -140,6 +140,15 @@ type DurableOptions struct {
 	// FS is the filesystem to operate on; nil is the real one. The
 	// crash-torture tests inject faultfile.FS here.
 	FS FS
+	// Open selects how the snapshot at the store path is decoded: the
+	// zero value is a full eager decode; OpenLazy defers each table's
+	// rows to first touch and, with them, the replay of that table's
+	// uncovered journal records (see RecoveryInfo.Deferred). v2/v3
+	// snapshots and JSON catalogs always open eagerly.
+	Open OpenMode
+	// OpenWorkers bounds eager v4 decode parallelism: 0 means
+	// GOMAXPROCS, 1 decodes serially.
+	OpenWorkers int
 }
 
 // RecoveryInfo describes what OpenDurable found and did.
@@ -147,8 +156,11 @@ type RecoveryInfo struct {
 	// SnapshotLoaded reports whether a snapshot (or JSON catalog)
 	// existed at the store path.
 	SnapshotLoaded bool
-	// Replayed is the number of journal records applied.
+	// Replayed is the number of journal records applied at open.
 	Replayed int
+	// Deferred is the number of journal records whose replay a lazy
+	// open handed to table hydration instead of applying at open.
+	Deferred int
 	// Truncated reports whether a torn tail was cut off the journal.
 	Truncated bool
 	// TruncatedAt is the byte offset of the cut when Truncated.
@@ -162,10 +174,14 @@ func (ri RecoveryInfo) String() string {
 	if ri.SnapshotLoaded {
 		src = "snapshot"
 	}
-	if ri.Truncated {
-		return fmt.Sprintf("truncated torn tail at offset %d (%s + %d journal record(s))", ri.TruncatedAt, src, ri.Replayed)
+	replay := fmt.Sprintf("%s + %d journal record(s)", src, ri.Replayed)
+	if ri.Deferred > 0 {
+		replay += fmt.Sprintf(", %d deferred to hydration", ri.Deferred)
 	}
-	return fmt.Sprintf("clean (%s + %d journal record(s))", src, ri.Replayed)
+	if ri.Truncated {
+		return fmt.Sprintf("truncated torn tail at offset %d (%s)", ri.TruncatedAt, replay)
+	}
+	return fmt.Sprintf("clean (%s)", replay)
 }
 
 // DurabilityInfo is a snapshot of a Durable store's journal state, the
@@ -459,7 +475,7 @@ func OpenDurable(path string, opt DurableOptions) (*Durable, error) {
 	var snapLSN uint64
 	if data, err := fsys.ReadFile(path); err == nil {
 		if IsSnapshot(data) {
-			if s, snapLSN, err = decodeSnapshot(data); err != nil {
+			if s, snapLSN, err = decodeSnapshotOpt(data, SnapshotOptions{Mode: opt.Open, Workers: opt.OpenWorkers}); err != nil {
 				return nil, fmt.Errorf("relstore: open durable: load snapshot %s: %w", path, err)
 			}
 		} else if s, err = loadJSON(path, data); err != nil {
@@ -471,6 +487,12 @@ func OpenDurable(path string, opt DurableOptions) (*Durable, error) {
 		return nil, fmt.Errorf("relstore: open durable: %w", err)
 	}
 	for name, t := range s.tables {
+		if t.pending != nil && t.pending.err != nil {
+			// A poisoned lazy stub carries a placeholder schema; its real
+			// one is unreadable. Let the open proceed — the section's
+			// sticky error fires on first touch, like any lazy corruption.
+			continue
+		}
 		if len(t.schema.Key) == 0 {
 			return nil, fmt.Errorf("relstore: open durable %s: table %q has no primary key; journaled stores require keyed tables", path, name)
 		}
@@ -541,12 +563,29 @@ func OpenDurable(path string, opt DurableOptions) (*Durable, error) {
 		// replay.
 		skip = int64(len(records))
 	}
+	deferredCount := 0
 	for i, payload := range records[skip:] {
+		// Lazy open: a record whose target table is still a cold stub is
+		// deferred — appended, in order, to the stub's replay list, which
+		// hydration applies strictly exactly-once right after the row
+		// decode. Records touch exactly one table each, so partitioning
+		// them by table commutes with replay order. Structural records
+		// (create/drop table) and records for live tables apply now; a
+		// record naming a missing table still fails loudly here.
+		if name, ok := walRecordTarget(payload); ok {
+			if t, exists := s.tables[name]; exists && t.pending != nil {
+				t.pending.deferred = append(t.pending.deferred, payload)
+				s.deferredPending++
+				deferredCount++
+				continue
+			}
+		}
 		if err := s.applyWALRecord(payload); err != nil {
 			return nil, fmt.Errorf("relstore: open durable: journal %s: record %d (LSN %d): %w", jpath, int(skip)+i, base+skip+int64(i), err)
 		}
 	}
-	d.recovery.Replayed = len(records) - int(skip)
+	d.recovery.Replayed = len(records) - int(skip) - deferredCount
+	d.recovery.Deferred = deferredCount
 	if torn {
 		d.recovery.Truncated = true
 		d.recovery.TruncatedAt = validEnd
@@ -651,6 +690,12 @@ func (d *Durable) Info() DurabilityInfo {
 func (d *Durable) Compact() error {
 	d.compactMu.Lock()
 	defer d.compactMu.Unlock()
+	// A lazily opened store must hydrate everything first: the snapshot
+	// Compact writes covers the journal up to the cut, so no record may
+	// still be waiting in a pending section when it is encoded.
+	if err := d.Store.HydrateAll(); err != nil {
+		return fmt.Errorf("relstore: compact: %w", err)
+	}
 	d.Store.mu.RLock()
 	_, recs, cut := d.w.position()
 	if recs == 0 && d.haveSnap {
@@ -695,7 +740,10 @@ func (d *Durable) Close() error {
 // store write lock and call logWAL after validating the mutation and
 // before applying it (write-ahead ordering).
 func (s *Store) logWAL(build func(w *snapWriter)) error {
-	if s.wal == nil {
+	if s.wal == nil || s.replaying {
+		// replaying: hydration is re-applying records that are already in
+		// the journal — appending them again would double them on the
+		// next recovery.
 		return nil
 	}
 	var buf bytes.Buffer
@@ -846,14 +894,35 @@ func keyOfVals(vals []any) string {
 	return strings.Join(parts, "\x00")
 }
 
-// applyWALRecord replays one journal record onto a store that has no
-// journal attached yet (replay must not re-journal). Replay is
+// walRecordTarget peeks the table a journal record addresses, without
+// decoding the record body. Only row/index records have a single target
+// table that may be cold; structural records (create/drop table) return
+// ok=false and always apply at open.
+func walRecordTarget(payload []byte) (name string, ok bool) {
+	r := &snapReader{b: payload} // no aliased string: the name is copied out
+	switch r.u8() {
+	case walOpInsert, walOpUpsert, walOpUpdate, walOpDelete, walOpCreateIndex:
+		n := r.str()
+		return n, r.err == nil && n != ""
+	}
+	return "", false
+}
+
+// applyWALRecord replays one journal record. Replay never re-journals:
+// OpenDurable applies records before the journal is attached, and
+// hydration's deferred replay runs with s.replaying set. Replay is
 // exactly-once — the LSN skip in OpenDurable guarantees the store is
 // in precisely the state that preceded this record — so every replay
 // path is strict: a record that does not apply cleanly means the
 // snapshot/journal pair is inconsistent, and recovery fails loudly
 // rather than guessing.
 func (s *Store) applyWALRecord(payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applyWALRecordLocked(payload)
+}
+
+func (s *Store) applyWALRecordLocked(payload []byte) error {
 	r := &snapReader{b: payload, s: string(payload)}
 	op := r.u8()
 	switch op {
@@ -862,7 +931,7 @@ func (s *Store) applyWALRecord(payload []byte) error {
 		if r.err != nil {
 			return r.err
 		}
-		return s.CreateTable(sc)
+		return s.createTableLocked(sc)
 	case walOpCreateIndex:
 		name := r.str()
 		nc := int(r.u32())
@@ -873,27 +942,27 @@ func (s *Store) applyWALRecord(payload []byte) error {
 		if r.err != nil {
 			return r.err
 		}
-		return s.CreateIndex(name, cols...)
+		return s.createIndexLocked(name, cols)
 	case walOpDropTable:
 		name := r.str()
 		if r.err != nil {
 			return r.err
 		}
-		return s.DropTable(name)
+		return s.dropTableLocked(name)
 	case walOpInsert:
 		name := r.str()
 		row := readWALRow(r)
 		if r.err != nil {
 			return r.err
 		}
-		return s.Insert(name, row)
+		return s.insertLocked(name, row)
 	case walOpUpsert:
 		name := r.str()
 		row := readWALRow(r)
 		if r.err != nil {
 			return r.err
 		}
-		return s.Upsert(name, row)
+		return s.upsertLocked(name, row)
 	case walOpUpdate:
 		name := r.str()
 		n := int(r.u32())
@@ -919,7 +988,7 @@ func (s *Store) applyWALRecord(payload []byte) error {
 			oldKeys[i] = keyOfVals(p.oldKey)
 			rows[i] = p.row
 		}
-		return s.replayUpdateBatch(name, oldKeys, rows)
+		return s.replayUpdateBatchLocked(name, oldKeys, rows)
 	case walOpDelete:
 		name := r.str()
 		n := int(r.u32())
@@ -933,7 +1002,7 @@ func (s *Store) applyWALRecord(payload []byte) error {
 		if r.err != nil {
 			return r.err
 		}
-		return s.replayDeleteBatch(name, keys)
+		return s.replayDeleteBatchLocked(name, keys)
 	default:
 		return fmt.Errorf("unknown opcode %d", op)
 	}
@@ -945,12 +1014,10 @@ func (s *Store) applyWALRecord(payload []byte) error {
 // scan position, with the same two-phase key-index rebuild as Update
 // so key permutations replay. Replay is exactly-once, so every old
 // key must resolve.
-func (s *Store) replayUpdateBatch(name string, oldKeys []string, rows []Row) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	t, ok := s.tables[name]
-	if !ok {
-		return fmt.Errorf("no table %q", name)
+func (s *Store) replayUpdateBatchLocked(name string, oldKeys []string, rows []Row) error {
+	t, err := s.tableLocked(name)
+	if err != nil {
+		return err
 	}
 	d := t.data
 	type change struct {
@@ -998,12 +1065,10 @@ func (s *Store) replayUpdateBatch(name string, oldKeys []string, rows []Row) err
 
 // replayDeleteBatch re-applies one Delete record by key. Replay is
 // exactly-once, so every key must resolve.
-func (s *Store) replayDeleteBatch(name string, keys []string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	t, ok := s.tables[name]
-	if !ok {
-		return fmt.Errorf("no table %q", name)
+func (s *Store) replayDeleteBatchLocked(name string, keys []string) error {
+	t, err := s.tableLocked(name)
+	if err != nil {
+		return err
 	}
 	var victims []int64
 	for _, k := range keys {

@@ -201,6 +201,12 @@ type table struct {
 	cols   map[string]ColType // column name -> declared type
 	data   *tableData         // current read snapshot; see tableData
 	nextID int64
+	// pending, non-nil on a lazily opened table that has not been
+	// touched yet, holds the raw snapshot section to decode on first
+	// touch (lazy.go). It only ever transitions non-nil -> nil, under
+	// the store's write lock, so readers may check it under the read
+	// lock before pinning data.
+	pending *pendingSection
 }
 
 // writable returns the table's data for in-place mutation, first cloning
@@ -228,6 +234,17 @@ type Store struct {
 	// the write lock, after validation, before applying — so the
 	// journal is always a prefix-consistent log of the applied state.
 	wal *wal
+
+	// lazy is set once at decode time when the store was opened with
+	// OpenLazy, immutable afterwards; the hydration counters below it
+	// are guarded by mu (see lazy.go).
+	lazy             bool
+	hydrations       int64
+	deferredPending  int64
+	deferredReplayed int64
+	// replaying, guarded by mu, suppresses journaling while hydration
+	// replays deferred records that are already in the journal.
+	replaying bool
 }
 
 // Generation returns a counter that increments on every effective
@@ -265,8 +282,21 @@ func New() *Store {
 // types) the planner needs.
 func (s *Store) snapshot(tableName string) (*table, *tableData, error) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	t, ok := s.tables[tableName]
+	if ok && t.pending != nil {
+		// Cold table: hydrate under the write lock, then re-pin. pending
+		// only transitions non-nil -> nil (under the write lock), so the
+		// fast path above never sees a stale nil; concurrent first
+		// touchers serialize on the write lock inside hydrate, and the
+		// losers find the table already live — no double decode.
+		s.mu.RUnlock()
+		if err := s.hydrate(tableName); err != nil {
+			return nil, nil, err
+		}
+		s.mu.RLock()
+		t, ok = s.tables[tableName]
+	}
+	defer s.mu.RUnlock()
 	if !ok {
 		return nil, nil, fmt.Errorf("relstore: no table %q", tableName)
 	}
@@ -281,39 +311,19 @@ func (s *Store) snapshot(tableName string) (*table, *tableData, error) {
 func (s *Store) CreateTable(sc Schema) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.createTableLocked(sc)
+}
+
+func (s *Store) createTableLocked(sc Schema) error {
 	if sc.Table == "" {
 		return fmt.Errorf("relstore: empty table name")
 	}
 	if _, ok := s.tables[sc.Table]; ok {
 		return fmt.Errorf("relstore: table %q already exists", sc.Table)
 	}
-	if len(sc.Columns) == 0 {
-		return fmt.Errorf("relstore: table %q has no columns", sc.Table)
-	}
-	cols := make(map[string]ColType)
-	for _, c := range sc.Columns {
-		if _, dup := cols[c.Name]; dup {
-			return fmt.Errorf("relstore: table %q duplicate column %q", sc.Table, c.Name)
-		}
-		cols[c.Name] = c.Type
-	}
-	for _, k := range sc.Key {
-		if _, ok := cols[k]; !ok {
-			return fmt.Errorf("relstore: table %q key column %q not declared", sc.Table, k)
-		}
-	}
-	t := &table{
-		schema: sc,
-		cols:   cols,
-		data: &tableData{
-			rows:     make(map[int64]Row),
-			keyIndex: make(map[string]int64),
-		},
-	}
-	for _, ix := range sc.Indexes {
-		if err := t.addIndex(t.data, ix.Columns); err != nil {
-			return err
-		}
+	t, err := newTable(sc)
+	if err != nil {
+		return err
 	}
 	if s.wal != nil && len(sc.Key) == 0 {
 		return fmt.Errorf("relstore: table %q has no primary key; journaled stores require keyed tables", sc.Table)
@@ -327,6 +337,45 @@ func (s *Store) CreateTable(sc Schema) error {
 	s.tables[sc.Table] = t
 	s.gen.Add(1)
 	return nil
+}
+
+// newTable validates sc and builds an empty table for it: CreateTable
+// minus the store-level concerns (name conflicts, journaling), so the
+// snapshot decoders can construct tables standalone — concurrently for
+// the parallel eager path, stub-first for the lazy one.
+func newTable(sc Schema) (*table, error) {
+	if sc.Table == "" {
+		return nil, fmt.Errorf("relstore: empty table name")
+	}
+	if len(sc.Columns) == 0 {
+		return nil, fmt.Errorf("relstore: table %q has no columns", sc.Table)
+	}
+	cols := make(map[string]ColType)
+	for _, c := range sc.Columns {
+		if _, dup := cols[c.Name]; dup {
+			return nil, fmt.Errorf("relstore: table %q duplicate column %q", sc.Table, c.Name)
+		}
+		cols[c.Name] = c.Type
+	}
+	for _, k := range sc.Key {
+		if _, ok := cols[k]; !ok {
+			return nil, fmt.Errorf("relstore: table %q key column %q not declared", sc.Table, k)
+		}
+	}
+	t := &table{
+		schema: sc,
+		cols:   cols,
+		data: &tableData{
+			rows:     make(map[int64]Row),
+			keyIndex: make(map[string]int64),
+		},
+	}
+	for _, ix := range sc.Indexes {
+		if err := t.addIndex(t.data, ix.Columns); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
 }
 
 // checkIndex validates one secondary-index declaration against d
@@ -372,9 +421,13 @@ func (t *table) addIndex(d *tableData, cols []string) error {
 func (s *Store) CreateIndex(tableName string, cols ...string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	t, ok := s.tables[tableName]
-	if !ok {
-		return fmt.Errorf("relstore: no table %q", tableName)
+	return s.createIndexLocked(tableName, cols)
+}
+
+func (s *Store) createIndexLocked(tableName string, cols []string) error {
+	t, err := s.tableLocked(tableName)
+	if err != nil {
+		return err
 	}
 	// Validate before journaling or touching live data: a journaled
 	// record must always be appliable.
@@ -411,7 +464,12 @@ func (s *Store) CreateIndex(tableName string, cols ...string) error {
 func (s *Store) DropTable(name string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.tables[name]; !ok {
+	return s.dropTableLocked(name)
+}
+
+func (s *Store) dropTableLocked(name string) error {
+	t, ok := s.tables[name]
+	if !ok {
 		return fmt.Errorf("relstore: no table %q", name)
 	}
 	if err := s.logWAL(func(w *snapWriter) {
@@ -419,6 +477,12 @@ func (s *Store) DropTable(name string) error {
 		w.str(name)
 	}); err != nil {
 		return err
+	}
+	// Dropping a cold table never hydrates it: the section is simply
+	// discarded, along with any journal records whose replay was
+	// deferred to its hydration.
+	if t.pending != nil {
+		s.deferredPending -= int64(len(t.pending.deferred))
 	}
 	delete(s.tables, name)
 	s.gen.Add(1)
@@ -613,9 +677,13 @@ func (d *tableData) indexRemove(id int64, r Row) {
 func (s *Store) Insert(tableName string, r Row) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	t, ok := s.tables[tableName]
-	if !ok {
-		return fmt.Errorf("relstore: no table %q", tableName)
+	return s.insertLocked(tableName, r)
+}
+
+func (s *Store) insertLocked(tableName string, r Row) error {
+	t, err := s.tableLocked(tableName)
+	if err != nil {
+		return err
 	}
 	if err := t.checkRow(r); err != nil {
 		return err
@@ -656,9 +724,13 @@ func (s *Store) Insert(tableName string, r Row) error {
 func (s *Store) Upsert(tableName string, r Row) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	t, ok := s.tables[tableName]
-	if !ok {
-		return fmt.Errorf("relstore: no table %q", tableName)
+	return s.upsertLocked(tableName, r)
+}
+
+func (s *Store) upsertLocked(tableName string, r Row) error {
+	t, err := s.tableLocked(tableName)
+	if err != nil {
+		return err
 	}
 	if len(t.schema.Key) == 0 {
 		return fmt.Errorf("relstore: table %q has no key; cannot upsert", tableName)
@@ -754,8 +826,17 @@ func (s *Store) SelectOne(tableName string, p Pred) (Row, error) {
 // pinned — a point lookup runs no user code and finishes immediately).
 func (s *Store) Get(tableName string, keyVals ...any) (Row, error) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	t, ok := s.tables[tableName]
+	if ok && t.pending != nil {
+		// Cold table: hydrate and retry, same dance as snapshot().
+		s.mu.RUnlock()
+		if err := s.hydrate(tableName); err != nil {
+			return nil, err
+		}
+		s.mu.RLock()
+		t, ok = s.tables[tableName]
+	}
+	defer s.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("relstore: no table %q", tableName)
 	}
@@ -817,9 +898,13 @@ func (s *Store) Scan(tableName string, p Pred, visit func(Row) bool) error {
 func (s *Store) Update(tableName string, p Pred, fn func(Row) Row) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	t, ok := s.tables[tableName]
-	if !ok {
-		return 0, fmt.Errorf("relstore: no table %q", tableName)
+	return s.updateLocked(tableName, p, fn)
+}
+
+func (s *Store) updateLocked(tableName string, p Pred, fn func(Row) Row) (int, error) {
+	t, err := s.tableLocked(tableName)
+	if err != nil {
+		return 0, err
 	}
 	d := t.data
 	ids, verify := t.plan(d, p)
@@ -913,9 +998,13 @@ func keyValues(k string) string {
 func (s *Store) Delete(tableName string, p Pred) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	t, ok := s.tables[tableName]
-	if !ok {
-		return 0, fmt.Errorf("relstore: no table %q", tableName)
+	return s.deleteLocked(tableName, p)
+}
+
+func (s *Store) deleteLocked(tableName string, p Pred) (int, error) {
+	t, err := s.tableLocked(tableName)
+	if err != nil {
+		return 0, err
 	}
 	d := t.data
 	ids, verify := t.plan(d, p)
@@ -999,6 +1088,12 @@ type persistedTable struct {
 // lock is held through the rename so concurrent saves cannot replace a
 // newer on-disk state with a staler one.
 func (s *Store) Save(path string) error {
+	// A save must reflect every row, so a lazily opened store hydrates
+	// everything still pending (and replays its deferred journal
+	// records) first.
+	if err := s.HydrateAll(); err != nil {
+		return err
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make(map[string]persistedTable, len(s.tables))
@@ -1024,12 +1119,19 @@ func (s *Store) Save(path string) error {
 // once per column before any row is stored, and errors carry their full
 // context (table, row index, column name).
 func Load(path string) (*Store, error) {
+	return LoadWith(path, SnapshotOptions{})
+}
+
+// LoadWith is Load with snapshot open options: opt selects the open
+// mode (and eager worker count) when the file is a binary snapshot, and
+// is ignored for JSON catalogs, which are always fully materialized.
+func LoadWith(path string, opt SnapshotOptions) (*Store, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("relstore: load: %w", err)
 	}
 	if IsSnapshot(data) {
-		s, _, err := decodeSnapshot(data)
+		s, _, err := decodeSnapshotOpt(data, opt)
 		if err != nil {
 			return nil, fmt.Errorf("relstore: load snapshot %s: %w", path, err)
 		}

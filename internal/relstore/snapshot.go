@@ -1,7 +1,8 @@
 // Binary snapshot persistence. A snapshot is the whole-store wire format
-// described in SNAPSHOT.md: a magic/version header, one length-prefixed
-// section per table (schema header followed by typed row encoding in
-// insertion order), and a CRC-32 trailer over everything before it.
+// described in SNAPSHOT.md: a magic/version header, a section directory
+// locating one length-prefixed section per table (schema header followed
+// by typed row encoding in insertion order), and a CRC-32 trailer over
+// everything before it.
 //
 // Snapshots exist because the JSON path re-parses, re-validates, and
 // re-indexes a catalog row by row: at 10k implementations that costs
@@ -13,6 +14,14 @@
 // Insert validation, no incremental index maintenance, no re-sorting
 // (rowids are assigned sequentially in section order, so ascending
 // order is insertion order by construction).
+//
+// The v4 section directory makes every table section independently
+// locatable (byte offset and length) and verifiable (per-section
+// CRC-32C), which is what the two open modes ride on: eager open decodes
+// sections in parallel across a worker pool — sections are independent
+// by construction — and lazy open (OpenLazy) decodes only the directory
+// and each section's schema header, materializing a table's rows and
+// indexes on first touch (lazy.go).
 package relstore
 
 import (
@@ -24,7 +33,10 @@ import (
 	"math/rand/v2"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 const (
@@ -40,10 +52,18 @@ const (
 	// the JSON format remains the cross-version compatibility path);
 	// 3 = PR 8, a u64 covered-LSN field between the version and the
 	// table count, stamping which journal records the snapshot already
-	// folds in. A v3 reader still accepts v2 (covered LSN zero).
-	snapVersion = 3
+	// folds in; 4 = PR 10, a section directory after the table count
+	// (per table: name, absolute byte offset, length, CRC-32C) sealed by
+	// its own CRC-32C, so each section is independently locatable and
+	// verifiable. Section and trailer encodings are unchanged from v3.
+	// A v4 reader still accepts v3 and v2 (eagerly — they have no
+	// directory to open lazily from).
+	snapVersion = 4
 	// snapTrailerLen is the CRC-32C trailer size.
 	snapTrailerLen = 4
+	// snapDirFixed is the fixed part of one directory entry — u64 offset,
+	// u64 length, u32 section CRC — after the length-prefixed name.
+	snapDirFixed = 20
 )
 
 // snapCRC is the Castagnoli table: CRC-32C has dedicated CPU
@@ -51,25 +71,73 @@ const (
 // costs a fraction of a millisecond.
 var snapCRC = crc32.MakeTable(crc32.Castagnoli)
 
-// snapHeaderLen is magic + version; the table count follows as ordinary
-// reader payload.
+// snapHeaderLen is magic + version; the covered LSN, table count, and
+// directory follow as ordinary reader payload.
 const snapHeaderLen = len(snapMagic) + 4
+
+// OpenMode selects how much of a snapshot an open decodes up front.
+type OpenMode int
+
+const (
+	// OpenEager decodes every table section at open (the default); v4
+	// snapshots decode sections in parallel across a worker pool.
+	OpenEager OpenMode = iota
+	// OpenLazy decodes only the v4 section directory and each table's
+	// schema header at open, keeping the snapshot's byte buffer; a
+	// table's rows and indexes materialize on first touch (see lazy.go).
+	// v2/v3 snapshots have no directory and fall back to eager.
+	OpenLazy
+)
+
+// String names the mode the way the icdbd -open flag spells it.
+func (m OpenMode) String() string {
+	if m == OpenLazy {
+		return "lazy"
+	}
+	return "eager"
+}
+
+// SnapshotOptions configures how OpenSnapshot (and OpenDurable, via
+// DurableOptions.Open) decodes a snapshot. The zero value is a full
+// eager decode with one worker per CPU.
+type SnapshotOptions struct {
+	// Mode is the open mode; the zero value is OpenEager.
+	Mode OpenMode
+	// Workers bounds the eager v4 decoder's parallelism: 0 means
+	// GOMAXPROCS, 1 decodes serially. Lazy open ignores it (hydration
+	// is per-table, on the toucher's goroutine).
+	Workers int
+}
 
 // SaveSnapshot writes the whole store to path in the binary snapshot
 // format, atomically: the bytes are staged in a temp file in path's
 // directory, fsynced, and renamed over path, so a crash mid-save can
 // never truncate or corrupt an existing file. Tables are written in
 // sorted name order and rows in insertion order, so saving an unchanged
-// store is byte-for-byte deterministic.
+// store is byte-for-byte deterministic — a lazily opened store is fully
+// hydrated first, so lazy and eager opens of one file save identically.
 //
 // The read lock is held through the rename (not just the encode):
 // concurrent saves of one store therefore always write identical bytes,
 // so whichever rename lands last cannot replace a newer state with a
 // staler one.
 func (s *Store) SaveSnapshot(path string) error {
+	return s.SaveSnapshotVersion(path, snapVersion)
+}
+
+// SaveSnapshotVersion is SaveSnapshot pinned to a specific format
+// version: 4 (current) or 3 (the previous layout, without the section
+// directory). Writing v3 exists for cross-version tests and benchmarks;
+// new catalogs should use SaveSnapshot.
+func (s *Store) SaveSnapshotVersion(path string, version int) error {
+	if s.lazy {
+		if err := s.HydrateAll(); err != nil {
+			return fmt.Errorf("relstore: save snapshot: %w", err)
+		}
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	data, err := s.encodeSnapshot()
+	data, err := s.encodeSnapshotAt(version)
 	if err != nil {
 		return fmt.Errorf("relstore: save snapshot: %w", err)
 	}
@@ -82,6 +150,18 @@ func (s *Store) SaveSnapshot(path string) error {
 // encoded rows) and zero otherwise — a plain store has no journal to
 // cover.
 func (s *Store) encodeSnapshot() ([]byte, error) {
+	return s.encodeSnapshotAt(snapVersion)
+}
+
+func (s *Store) encodeSnapshotAt(version int) ([]byte, error) {
+	if version != 3 && version != snapVersion {
+		return nil, fmt.Errorf("cannot write snapshot version %d (writers emit 3 or %d)", version, snapVersion)
+	}
+	for name, t := range s.tables {
+		if t.pending != nil {
+			return nil, fmt.Errorf("table %q is still pending hydration (HydrateAll before encoding)", name)
+		}
+	}
 	var lsn uint64
 	if s.wal != nil {
 		base, records, _ := s.wal.position()
@@ -92,29 +172,132 @@ func (s *Store) encodeSnapshot() ([]byte, error) {
 		names = append(names, n)
 	}
 	sort.Strings(names)
-	var buf bytes.Buffer
-	// Rough pre-size (cells don't have a knowable byte size without
-	// visiting every value, which the single encode pass avoids): enough
-	// to keep buffer doublings to at most one for typical catalogs.
-	est := 4096
-	for _, t := range s.tables {
-		est += len(t.data.ids)*len(t.schema.Columns)*32 + 256
+
+	// Exact pre-size: a dry pass sums every section's encoded size —
+	// including per-cell string lengths, which the old estimate ignored —
+	// so the buffer is grown once and never doubles mid-encode, and any
+	// drift between sectionSize and encodeSection fails loudly below.
+	secSize := make([]int, len(names))
+	total := snapHeaderLen + 8 + 4 // header + covered LSN + table count
+	for i, n := range names {
+		sz, err := s.tables[n].sectionSize()
+		if err != nil {
+			return nil, err
+		}
+		secSize[i] = sz
+		total += sz
+		if version >= 4 {
+			total += 4 + len(n) + snapDirFixed
+		}
 	}
-	buf.Grow(est)
+	if version >= 4 {
+		total += 4 // directory CRC
+	}
+	total += snapTrailerLen
+
+	var buf bytes.Buffer
+	buf.Grow(total)
 	w := &snapWriter{buf: &buf}
 	w.raw([]byte(snapMagic))
-	w.u32(snapVersion)
+	w.u32(uint32(version))
 	w.u64(lsn)
 	w.u32(uint32(len(names)))
-	for _, n := range names {
+	// Directory first, offsets/lengths/CRCs backpatched as sections land:
+	// names are known up front, so the directory's size — and with it
+	// every section offset — is fixed before any row is written.
+	patch := make([]int, len(names))
+	dirCRCAt := -1
+	if version >= 4 {
+		for i, n := range names {
+			w.str(n)
+			patch[i] = buf.Len()
+			w.u64(0) // section offset, backpatched
+			w.u64(0) // section length, backpatched
+			w.u32(0) // section CRC, backpatched
+		}
+		dirCRCAt = buf.Len()
+		w.u32(0) // directory CRC, backpatched
+	}
+	for i, n := range names {
+		start := buf.Len()
 		if err := s.tables[n].encodeSection(w); err != nil {
 			return nil, err
 		}
+		if got := buf.Len() - start; got != secSize[i] {
+			return nil, fmt.Errorf("internal error: table %q encoded to %d bytes, pre-sized %d", n, got, secSize[i])
+		}
+		if version >= 4 {
+			b := buf.Bytes()
+			binary.LittleEndian.PutUint64(b[patch[i]:], uint64(start))
+			binary.LittleEndian.PutUint64(b[patch[i]+8:], uint64(secSize[i]))
+			binary.LittleEndian.PutUint32(b[patch[i]+16:], crc32.Checksum(b[start:buf.Len()], snapCRC))
+		}
+	}
+	if version >= 4 {
+		b := buf.Bytes()
+		binary.LittleEndian.PutUint32(b[dirCRCAt:], crc32.Checksum(b[:dirCRCAt], snapCRC))
 	}
 	var trailer [snapTrailerLen]byte
 	binary.LittleEndian.PutUint32(trailer[:], crc32.Checksum(buf.Bytes(), snapCRC))
 	buf.Write(trailer[:])
+	if buf.Len() != total {
+		return nil, fmt.Errorf("internal error: snapshot encoded to %d bytes, pre-sized %d", buf.Len(), total)
+	}
 	return buf.Bytes(), nil
+}
+
+// sectionSize computes the exact byte size encodeSection will emit for
+// this table: the schema header from the schema alone, the rows from the
+// per-row fixed width plus every string cell's actual length. One pass
+// over the rows, no allocation — the price of never reallocating the
+// encode buffer.
+func (t *table) sectionSize() (int, error) {
+	sc := &t.schema
+	n := 4 + len(sc.Table) + 4
+	for _, c := range sc.Columns {
+		n += 4 + len(c.Name) + 1
+	}
+	n += 4
+	for _, k := range sc.Key {
+		n += 4 + len(k)
+	}
+	n += 4
+	for _, ix := range sc.Indexes {
+		n += 4
+		for _, c := range ix.Columns {
+			n += 4 + len(c)
+		}
+	}
+	n += 4 + 8 // row count + payload length
+	fixed := 0 // per-row bytes independent of cell values
+	var strCols []string
+	for _, c := range sc.Columns {
+		switch c.Type {
+		case TString:
+			strCols = append(strCols, c.Name)
+			fixed += 4
+		case TInt, TFloat:
+			fixed += 8
+		case TBool:
+			fixed++
+		}
+	}
+	d := t.data
+	n += fixed * len(d.ids)
+	if len(strCols) > 0 {
+		for _, id := range d.ids {
+			r := d.rows[id]
+			for _, cn := range strCols {
+				v, ok := r[cn].(string)
+				if !ok {
+					return 0, fmt.Errorf("table %q column %q: cannot snapshot %T value in string column",
+						sc.Table, cn, r[cn])
+				}
+				n += len(v)
+			}
+		}
+	}
+	return n, nil
 }
 
 // encodeSection writes one table in a single pass over its rows: the row
@@ -216,30 +399,43 @@ func IsSnapshot(data []byte) bool {
 	return len(data) >= len(snapMagic) && string(data[:len(snapMagic)]) == snapMagic
 }
 
-// LoadSnapshot reads a store previously written by SaveSnapshot. It is
-// the trusted-snapshot fast path: after the checksum trailer verifies,
-// rows are decoded directly into table storage and every index is
-// bulk-built, skipping the per-row validation Insert performs (the
-// writer only emits canonical, schema-checked rows, and the checksum
-// rules out torn or bit-flipped files). Malformed input — bad magic,
-// unsupported version, truncation, checksum mismatch, or inconsistent
-// section lengths — fails with a descriptive error, never a panic.
+// LoadSnapshot reads a store previously written by SaveSnapshot, fully
+// and eagerly. It is the trusted-snapshot fast path: after the checksum
+// trailer verifies, rows are decoded directly into table storage and
+// every index is bulk-built, skipping the per-row validation Insert
+// performs (the writer only emits canonical, schema-checked rows, and
+// the checksum rules out torn or bit-flipped files). Malformed input —
+// bad magic, unsupported version, truncation, checksum mismatch, or
+// inconsistent section lengths — fails with a descriptive error, never
+// a panic.
 func LoadSnapshot(path string) (*Store, error) {
+	return OpenSnapshot(path, SnapshotOptions{})
+}
+
+// OpenSnapshot is LoadSnapshot with explicit open options: OpenLazy
+// defers each table's decode to first touch (v4 snapshots only — older
+// versions decode eagerly), and Workers bounds eager decode parallelism.
+func OpenSnapshot(path string, opt SnapshotOptions) (*Store, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("relstore: load snapshot: %w", err)
 	}
-	s, _, err := decodeSnapshot(data)
+	s, _, err := decodeSnapshotOpt(data, opt)
 	if err != nil {
 		return nil, fmt.Errorf("relstore: load snapshot %s: %w", path, err)
 	}
 	return s, nil
 }
 
-// decodeSnapshot decodes a snapshot and its covered LSN — the journal
-// sequence number up to which (exclusive) the snapshot already reflects
-// every record. Version-2 files predate the field and cover nothing.
+// decodeSnapshot decodes a snapshot eagerly along with its covered LSN —
+// the journal sequence number up to which (exclusive) the snapshot
+// already reflects every record. Version-2 files predate the field and
+// cover nothing.
 func decodeSnapshot(data []byte) (*Store, uint64, error) {
+	return decodeSnapshotOpt(data, SnapshotOptions{})
+}
+
+func decodeSnapshotOpt(data []byte, opt SnapshotOptions) (*Store, uint64, error) {
 	if len(data) < snapHeaderLen+4+snapTrailerLen {
 		return nil, 0, fmt.Errorf("%d-byte file is too short to be a snapshot (truncated?)", len(data))
 	}
@@ -249,10 +445,20 @@ func decodeSnapshot(data []byte) (*Store, uint64, error) {
 	// Version before checksum: a future format may change anything past
 	// the header (including the trailer), so "unsupported version" must
 	// win over a misleading "checksum mismatch".
-	version := binary.LittleEndian.Uint32(data[len(snapMagic):snapHeaderLen])
-	if version != 2 && version != snapVersion {
+	version := int(binary.LittleEndian.Uint32(data[len(snapMagic):snapHeaderLen]))
+	if version < 2 || version > snapVersion {
 		return nil, 0, fmt.Errorf("unsupported snapshot version %d (this build reads versions 2-%d)", version, snapVersion)
 	}
+	if version < 4 {
+		return decodeSnapshotLegacy(data, version)
+	}
+	return decodeSnapshotV4(data, opt)
+}
+
+// decodeSnapshotLegacy decodes the v2/v3 layout: no directory, sections
+// decoded sequentially. Always eager — without a directory there is
+// nothing to defer to.
+func decodeSnapshotLegacy(data []byte, version int) (*Store, uint64, error) {
 	body, trailer := data[:len(data)-snapTrailerLen], data[len(data)-snapTrailerLen:]
 	if sum := crc32.Checksum(body, snapCRC); sum != binary.LittleEndian.Uint32(trailer) {
 		return nil, 0, fmt.Errorf("checksum mismatch (want %08x, file carries %08x): snapshot is corrupted or truncated",
@@ -285,17 +491,233 @@ func decodeSnapshot(data []byte) (*Store, uint64, error) {
 	return s, lsn, nil
 }
 
-// decodeTableSection decodes one table and bulk-builds its storage and
-// indexes. Schema sanity (duplicate columns, undeclared key/index
-// columns) still goes through CreateTable — it is O(columns), not
-// O(rows), so the fast path keeps it.
+// snapDirEntry locates one table section in a v4 snapshot: absolute
+// byte offset, length, and the section's own CRC-32C.
+type snapDirEntry struct {
+	name string
+	off  int
+	len  int
+	crc  uint32
+}
+
+// decodeSnapDirectory parses and verifies the v4 header and section
+// directory: entry bounds, contiguity (sections tile the span between
+// the directory and the trailer exactly, so truncation is caught even
+// without the whole-file checksum), duplicate names, and the
+// directory's own CRC — which is what lazy open trusts in place of the
+// whole-file trailer.
+func decodeSnapDirectory(data []byte) (uint64, []snapDirEntry, error) {
+	r := &snapReader{b: data, off: snapHeaderLen} // no aliased string: names are copied out
+	lsn := r.u64()
+	nTables := int(r.u32())
+	if r.err == nil && (nTables < 0 || nTables > (len(data)-r.off)/(4+snapDirFixed)) {
+		return 0, nil, fmt.Errorf("table count %d is impossible for a %d-byte file", nTables, len(data))
+	}
+	entries := make([]snapDirEntry, 0, nTables)
+	seen := make(map[string]bool, nTables)
+	for i := 0; i < nTables && r.err == nil; i++ {
+		e := snapDirEntry{name: r.str()}
+		e.off = int(int64(r.u64()))
+		e.len = int(int64(r.u64()))
+		e.crc = r.u32()
+		if r.err != nil {
+			break
+		}
+		if seen[e.name] {
+			return 0, nil, fmt.Errorf("directory lists table %q twice", e.name)
+		}
+		seen[e.name] = true
+		entries = append(entries, e)
+	}
+	if r.err != nil {
+		return 0, nil, r.err
+	}
+	dirCRCAt := r.off
+	wantDir := r.u32()
+	if r.err != nil {
+		return 0, nil, r.err
+	}
+	if sum := crc32.Checksum(data[:dirCRCAt], snapCRC); sum != wantDir {
+		return 0, nil, fmt.Errorf("directory checksum mismatch (want %08x, file carries %08x): snapshot header is corrupted or truncated",
+			sum, wantDir)
+	}
+	next := r.off
+	for _, e := range entries {
+		if e.len < 0 || e.len > len(data) || e.off != next {
+			return 0, nil, fmt.Errorf("table %q: section at offset %d (%d bytes) does not tile the file (expected offset %d)",
+				e.name, e.off, e.len, next)
+		}
+		next += e.len
+	}
+	if next != len(data)-snapTrailerLen {
+		return 0, nil, fmt.Errorf("%d byte(s) of trailing data after the last table section", len(data)-snapTrailerLen-next)
+	}
+	return lsn, entries, nil
+}
+
+// decodeSnapshotV4 decodes the directory, then either materializes every
+// section (eager, optionally in parallel) or builds lazy stubs that
+// hydrate on first touch. Eager open verifies the whole-file trailer
+// first, exactly like v3; lazy open trusts the directory CRC now and
+// each section's CRC at its hydration, so one corrupt section fails only
+// the table it holds.
+func decodeSnapshotV4(data []byte, opt SnapshotOptions) (*Store, uint64, error) {
+	if opt.Mode != OpenLazy {
+		body, trailer := data[:len(data)-snapTrailerLen], data[len(data)-snapTrailerLen:]
+		if sum := crc32.Checksum(body, snapCRC); sum != binary.LittleEndian.Uint32(trailer) {
+			return nil, 0, fmt.Errorf("checksum mismatch (want %08x, file carries %08x): snapshot is corrupted or truncated",
+				sum, binary.LittleEndian.Uint32(trailer))
+		}
+	}
+	lsn, entries, err := decodeSnapDirectory(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	s := New()
+	if opt.Mode == OpenLazy {
+		s.lazy = true
+		for _, e := range entries {
+			s.tables[e.name] = lazyStub(e, data[e.off:e.off+e.len])
+		}
+		return s, lsn, nil
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(entries) {
+		workers = len(entries)
+	}
+	tables := make([]*table, len(entries))
+	errs := make([]error, len(entries))
+	decodeOne := func(i int, boxes *boxCache) {
+		e := entries[i]
+		tables[i], errs[i] = decodeSectionTable(data[e.off:e.off+e.len], e.name, boxes)
+	}
+	if workers <= 1 {
+		boxes := newBoxCache()
+		for i := range entries {
+			decodeOne(i, boxes)
+		}
+	} else {
+		// Work-stealing over a shared cursor: sections are wildly uneven
+		// (one big relation, several small ones), so static striping would
+		// idle workers. Each worker keeps a private box cache — values
+		// repeat within a table far more than across tables.
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for k := 0; k < workers; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				boxes := newBoxCache()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(entries) {
+						return
+					}
+					decodeOne(i, boxes)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, 0, err
+		}
+		s.tables[entries[i].name] = tables[i]
+	}
+	return s, lsn, nil
+}
+
+// decodeSectionTable decodes one self-contained v4 section into a
+// standalone table: schema header, validation, bulk row build. It needs
+// no Store, which is what lets eager workers decode sections
+// concurrently and hydration decode one section under the store lock.
+func decodeSectionTable(section []byte, wantName string, boxes *boxCache) (*table, error) {
+	// One string copy per section (not per value): workers copy their own
+	// sections, so the conversions run in parallel too.
+	r := &snapReader{b: section, s: string(section)}
+	sc, nRows, payload, err := decodeSectionSchema(r)
+	if err != nil {
+		return nil, err
+	}
+	if sc.Table != wantName {
+		return nil, fmt.Errorf("section declares table %q but the directory names %q", sc.Table, wantName)
+	}
+	t, err := newTable(sc)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.decodeSectionRows(r, nRows, payload, boxes); err != nil {
+		return nil, err
+	}
+	if r.off != len(section) {
+		return nil, fmt.Errorf("table %q: %d byte(s) of trailing data in section", sc.Table, len(section)-r.off)
+	}
+	return t, nil
+}
+
+// lazyStub builds the unmaterialized table for one directory entry. The
+// schema header is decoded now — it is O(columns), and it lets SchemaOf,
+// Tables, and OpenDurable's keyed-table check answer without touching
+// rows — while the row payload stays raw until first touch. A section
+// whose schema cannot even be decoded still opens: the stub is poisoned,
+// so every data access fails with the decode error while the rest of the
+// catalog stays usable (its checksum would fail at hydration anyway —
+// only the directory is verified at lazy open).
+func lazyStub(e snapDirEntry, section []byte) *table {
+	r := &snapReader{b: section} // no aliased string: schema strings are copied, rows stay raw
+	sc, nRows, payload, err := decodeSectionSchema(r)
+	if err == nil && sc.Table != e.name {
+		err = fmt.Errorf("section declares table %q but the directory names %q", sc.Table, e.name)
+	}
+	if err == nil && r.off+payload != len(section) {
+		err = fmt.Errorf("section is %d bytes but schema + declared %d-byte row payload end at %d",
+			len(section), payload, r.off+payload)
+	}
+	var t *table
+	if err == nil {
+		t, err = newTable(sc)
+	}
+	if err != nil {
+		t, _ = newTable(Schema{Table: e.name, Columns: []Column{{Name: "corrupt", Type: TString}}})
+		t.pending = &pendingSection{err: fmt.Errorf("relstore: table %q: corrupt snapshot section: %w", e.name, err)}
+		return t
+	}
+	t.pending = &pendingSection{raw: section, crc: e.crc, rowsOff: r.off, nRows: nRows, payload: payload}
+	return t
+}
+
+// decodeTableSection decodes one table of a legacy (v2/v3) snapshot into
+// the store: sections are not length-prefixed as a unit there, so the
+// reader simply advances through them in order.
 func (s *Store) decodeTableSection(r *snapReader, boxes *boxCache) error {
+	sc, nRows, payload, err := decodeSectionSchema(r)
+	if err != nil {
+		return err
+	}
+	// Schema sanity (duplicate columns, undeclared key/index columns)
+	// still goes through CreateTable — it is O(columns), not O(rows), so
+	// the fast path keeps it.
+	if err := s.CreateTable(sc); err != nil {
+		return err
+	}
+	return s.tables[sc.Table].decodeSectionRows(r, nRows, payload, boxes)
+}
+
+// decodeSectionSchema reads a section's schema header, row count, and
+// declared payload length, leaving r at the first row. The payload bound
+// and minimum-row-size sanity checks run here, before any per-row
+// allocation.
+func decodeSectionSchema(r *snapReader) (Schema, int, int, error) {
 	sc := Schema{Table: r.str()}
 	nCols := int(r.u32())
 	for i := 0; i < nCols && r.err == nil; i++ {
 		c := Column{Name: r.str(), Type: ColType(r.u8())}
 		if r.err == nil && (c.Type < TString || c.Type > TBool) {
-			return fmt.Errorf("table %q column %q: unknown column type %d", sc.Table, c.Name, c.Type)
+			return sc, 0, 0, fmt.Errorf("table %q column %q: unknown column type %d", sc.Table, c.Name, c.Type)
 		}
 		sc.Columns = append(sc.Columns, c)
 	}
@@ -315,20 +737,22 @@ func (s *Store) decodeTableSection(r *snapReader, boxes *boxCache) error {
 	nRows := int(r.u32())
 	payload := int(r.u64())
 	if r.err != nil {
-		return r.err
+		return sc, 0, 0, r.err
 	}
 	if rem := len(r.b) - r.off; payload < 0 || payload > rem {
-		return fmt.Errorf("table %q: row payload of %d bytes exceeds the %d remaining", sc.Table, payload, rem)
+		return sc, 0, 0, fmt.Errorf("table %q: row payload of %d bytes exceeds the %d remaining", sc.Table, payload, rem)
 	}
 	if min := minRowSize(sc); nRows < 0 || (min > 0 && nRows > payload/min) {
-		return fmt.Errorf("table %q: row count %d is impossible for a %d-byte payload", sc.Table, nRows, payload)
+		return sc, 0, 0, fmt.Errorf("table %q: row count %d is impossible for a %d-byte payload", sc.Table, nRows, payload)
 	}
-	if err := s.CreateTable(sc); err != nil {
-		return err
-	}
-	t := s.tables[sc.Table]
-	// The store is private to this decode, so t.data is never shared yet;
-	// bulk-build directly into it.
+	return sc, nRows, payload, nil
+}
+
+// decodeSectionRows bulk-builds t's storage and indexes from r,
+// positioned at the section's first row. t must be freshly constructed
+// (newTable or CreateTable) and unobserved by readers.
+func (t *table) decodeSectionRows(r *snapReader, nRows, payload int, boxes *boxCache) error {
+	sc := t.schema
 	d := t.data
 	start := r.off
 	d.ids = make([]int64, nRows)
@@ -427,8 +851,11 @@ func minRowSize(sc Schema) int {
 	return n
 }
 
-// snapReader is a bounds-checked little-endian cursor. b and s alias the
-// same bytes; string reads slice s so they never copy.
+// snapReader is a bounds-checked little-endian cursor. When s is the
+// string aliasing b (same bytes), string reads slice s and never copy;
+// when s is empty (schema-only parses over a raw section, journal-record
+// peeks), string reads copy out of b instead — small strings, no pinned
+// backing.
 type snapReader struct {
 	b   []byte
 	s   string
@@ -485,7 +912,12 @@ func (r *snapReader) str() string {
 	if r.err != nil || !r.need(n) {
 		return ""
 	}
-	v := r.s[r.off : r.off+n]
+	var v string
+	if len(r.s) == len(r.b) {
+		v = r.s[r.off : r.off+n] // zero-copy slice of the aliased string
+	} else {
+		v = string(r.b[r.off : r.off+n])
+	}
 	r.off += n
 	return v
 }

@@ -290,16 +290,24 @@ func TestSnapshotRobustness(t *testing.T) {
 		if err == nil || !strings.Contains(err.Error(), "unsupported snapshot version 1") {
 			t.Fatalf("v1 snapshot: %v, want unsupported-version error", err)
 		}
-		if !strings.Contains(err.Error(), "reads versions 2-3") {
+		if !strings.Contains(err.Error(), "reads versions 2-4") {
 			t.Errorf("v1 snapshot error %v does not name the supported versions", err)
 		}
 	})
 	t.Run("v2 snapshot accepted", func(t *testing.T) {
 		// A version-2 file predates the covered-LSN header field but is
-		// otherwise the same layout; a v3 reader accepts it with covered
-		// LSN zero instead of forcing a JSON migration.
-		old := append([]byte(nil), data[:12]...)
-		old = append(old, data[20:len(data)-4]...) // drop the LSN field
+		// otherwise the v3 layout (no section directory); a v4 reader
+		// accepts it with covered LSN zero instead of forcing a JSON
+		// migration. Derive the v2 bytes from a v3 encode — the current
+		// format's directory does not exist in either.
+		s.mu.RLock()
+		v3, err3 := s.encodeSnapshotAt(3)
+		s.mu.RUnlock()
+		if err3 != nil {
+			t.Fatal(err3)
+		}
+		old := append([]byte(nil), v3[:12]...)
+		old = append(old, v3[20:len(v3)-4]...) // drop the LSN field
 		binary.LittleEndian.PutUint32(old[8:], 2)
 		old = append(old, 0, 0, 0, 0)
 		binary.LittleEndian.PutUint32(old[len(old)-4:], crcOf(old[:len(old)-4]))
@@ -396,13 +404,15 @@ func TestSnapshotRobustness(t *testing.T) {
 func crcOf(b []byte) uint32 { return crc32.Checksum(b, crc32.MakeTable(crc32.Castagnoli)) }
 
 // buildForgedSnapshot assembles a single-table snapshot with a valid
-// header and checksum around the section written by fill.
+// header and checksum around the section written by fill. It forges the
+// v3 layout — no section directory to fabricate — which exercises the
+// same section decoding the v4 paths share.
 func buildForgedSnapshot(t *testing.T, fill func(*snapWriter)) []byte {
 	t.Helper()
 	var buf bytes.Buffer
 	w := &snapWriter{buf: &buf}
 	w.raw([]byte(snapMagic))
-	w.u32(snapVersion)
+	w.u32(3)
 	w.u64(0) // covered LSN
 	w.u32(1)
 	fill(w)

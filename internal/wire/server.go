@@ -102,6 +102,11 @@ type Server struct {
 	// store's Info when running with -journal). Nil means the catalog
 	// is snapshot-only.
 	Durability func() relstore.DurabilityInfo
+	// Hydration, when non-nil, reports the backing store's snapshot
+	// open mode and lazy-hydration counters for "show server"
+	// (cmd/icdbd wires it to the store's LazyInfo). Nil hides the
+	// "open:" line entirely (e.g. a store not backed by a snapshot).
+	Hydration func() relstore.LazyInfo
 
 	mu      sync.Mutex
 	ln      net.Listener
@@ -630,6 +635,15 @@ func (s *Server) serverInfo(w io.Writer) error {
 		fmt.Fprintf(w, "recovery:     %s\n", d.Recovery)
 	} else {
 		fmt.Fprintln(w, "durability:   snapshot-only (no journal)")
+	}
+	if s.Hydration != nil {
+		h := s.Hydration()
+		if h.Lazy {
+			fmt.Fprintf(w, "open:         lazy, %d/%d table(s) hydrated (%d hydration(s)), %d deferred journal record(s) pending, %d replayed\n",
+				h.Hydrated, h.Tables, h.Hydrations, h.DeferredPending, h.DeferredReplayed)
+		} else {
+			fmt.Fprintln(w, "open:         eager (fully materialized)")
+		}
 	}
 	return nil
 }

@@ -1,26 +1,28 @@
 #!/bin/sh
-# bench.sh — run the ICDB benchmark harness and emit the BENCH_PR9.json
+# bench.sh — run the ICDB benchmark harness and emit the BENCH_PR10.json
 # trajectory file at the repo root.
 #
 # Usage:
 #   scripts/bench.sh                    # default: 1k and 10k catalogs, 200-client wire scenario
 #   SIZES=1000 scripts/bench.sh         # small catalog only
-#   GUARD=1 scripts/bench.sh            # fail the perf guards (snapshot-vs-JSON, journal 5x/2x, pareto 5x)
+#   GUARD=1 scripts/bench.sh            # fail the perf guards (snapshot-vs-JSON, journal 5x/2x, pareto 5x, open-latency)
 #   CONNS=0 scripts/bench.sh            # skip the concurrent wire-server scenario
 #   CHAOS=1 scripts/bench.sh            # also run the wire scenario with hostile clients
 #   JWRITE=0 scripts/bench.sh           # skip the journal durability scenarios
+#   OPENLAT= scripts/bench.sh           # skip the snapshot open-latency scenario
 #   SIZES=1000,10000,100000 OUT=/tmp/bench.json scripts/bench.sh
 set -eu
 cd "$(dirname "$0")/.."
 SIZES="${SIZES:-1000,10000}"
-OUT="${OUT:-BENCH_PR9.json}"
+OUT="${OUT:-BENCH_PR10.json}"
 BENCHTIME="${BENCHTIME:-300ms}"
 CONNS="${CONNS:-200}"
 JWRITE="${JWRITE:-10000}"
 JOPEN="${JOPEN:-100000}"
 JRECORDS="${JRECORDS:-1000}"
+OPENLAT="${OPENLAT-100000,1000000}"
 GUARD_FLAG=""
 [ "${GUARD:-0}" != "0" ] && GUARD_FLAG="-guard"
 CHAOS_FLAG=""
 [ "${CHAOS:-0}" != "0" ] && CHAOS_FLAG="-chaos"
-exec go run ./cmd/icdbq bench -sizes "$SIZES" -out "$OUT" -benchtime "$BENCHTIME" -conns "$CONNS" -jwrite "$JWRITE" -jopen "$JOPEN" -jrecords "$JRECORDS" $GUARD_FLAG $CHAOS_FLAG
+exec go run ./cmd/icdbq bench -sizes "$SIZES" -out "$OUT" -benchtime "$BENCHTIME" -conns "$CONNS" -jwrite "$JWRITE" -jopen "$JOPEN" -jrecords "$JRECORDS" -openlat "$OPENLAT" $GUARD_FLAG $CHAOS_FLAG
